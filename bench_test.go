@@ -1,0 +1,383 @@
+// Package repro_test is the top-level benchmark harness: one benchmark per
+// table and figure of Bergeron's SC'98 paper, plus ablation benches for the
+// design choices DESIGN.md calls out. Each table/figure bench regenerates
+// its artifact from a shared campaign and reports the headline quantity as
+// a benchmark metric next to the paper's value, and prints the full
+// rendering once.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/hpm"
+	"repro/internal/kernels"
+	"repro/internal/node"
+	"repro/internal/pbs"
+	"repro/internal/power2"
+	"repro/internal/profile"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// The benchmark campaign: long enough for every figure to be populated,
+// short enough to keep `go test -bench` pleasant. Built once.
+var (
+	campOnce sync.Once
+	campRes  workload.Result
+	campStd  profile.Standard
+)
+
+func campaign(b *testing.B) workload.Result {
+	b.Helper()
+	campOnce.Do(func() {
+		campStd = profile.MeasureStandard(1)
+		cfg := workload.DefaultConfig(1)
+		cfg.Days = 40
+		campRes = workload.NewCampaign(cfg, workload.DefaultMix(campStd)).Run()
+	})
+	return campRes
+}
+
+// printOnce prints an artifact exactly once across a bench's iterations.
+var printGuards sync.Map
+
+func printOnce(name, text string) {
+	if _, loaded := printGuards.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+func BenchmarkTable1CounterSelection(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = analysis.RenderTable1()
+	}
+	printOnce("table1", s)
+}
+
+func BenchmarkTable2MajorRates(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var t2 analysis.Table2
+	for i := 0; i < b.N; i++ {
+		t2 = analysis.ComputeTable2(res)
+	}
+	b.ReportMetric(t2.AvgMflops, "Mflops/node[paper=17.4]")
+	b.ReportMetric(t2.AvgMips, "Mips/node[paper=45.7]")
+	b.ReportMetric(t2.AvgMops, "Mops/node[paper=48.3]")
+	printOnce("table2", t2.Render())
+}
+
+func BenchmarkTable3RateBreakdown(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var t3 analysis.Table3
+	for i := 0; i < b.N; i++ {
+		t3 = analysis.ComputeTable3(res)
+	}
+	b.ReportMetric(100*t3.FMAFraction, "fma-share-%[paper=54]")
+	b.ReportMetric(t3.FPUAsymmetry, "fpu0/fpu1[paper=1.7]")
+	b.ReportMetric(100*t3.CacheRatio, "cache-miss-%[paper=1.0]")
+	b.ReportMetric(100*t3.TLBRatio, "tlb-miss-%[paper=0.1]")
+	printOnce("table3", t3.Render())
+}
+
+func BenchmarkTable4MemoryHierarchy(b *testing.B) {
+	res := campaign(b)
+	seq := analysis.MeasureSequentialRow(1, 200_000)
+	bt := analysis.MeasureBT49Row(analysis.DefaultBT49())
+	b.ResetTimer()
+	var t4 analysis.Table4
+	for i := 0; i < b.N; i++ {
+		t4 = analysis.ComputeTable4(res, seq, bt)
+	}
+	b.ReportMetric(t4.BT49.MflopsPerCPU, "bt49-Mflops/cpu[paper=44]")
+	b.ReportMetric(100*t4.Sequential.CacheMissRatio, "seq-cache-%[paper=3]")
+	b.ReportMetric(100*t4.Workload.CacheMissRatio, "workload-cache-%[paper=1]")
+	printOnce("table4", t4.Render())
+}
+
+func BenchmarkFigure1SystemHistory(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var f analysis.Figure1Data
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure1(res)
+	}
+	b.ReportMetric(f.MeanGflops, "mean-Gflops[paper=1.3]")
+	b.ReportMetric(100*f.MeanUtil, "mean-util-%[paper=64]")
+	printOnce("fig1", f.Render())
+}
+
+func BenchmarkFigure2WalltimeByNodes(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var f analysis.Figure2Data
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure2(res)
+	}
+	b.ReportMetric(float64(f.PeakNodes), "peak-nodes[paper=16]")
+	printOnce("fig2", f.Render())
+}
+
+func BenchmarkFigure3PerfByNodes(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var f analysis.Figure3Data
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure3(res)
+	}
+	b.ReportMetric(f.MeanUpTo64, "Mflops/node<=64")
+	b.ReportMetric(f.MeanBeyond64, "Mflops/node>64[collapse]")
+	printOnce("fig3", f.Render())
+}
+
+func BenchmarkFigure4SixteenNodeHistory(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var f analysis.Figure4Data
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure4(res)
+	}
+	b.ReportMetric(f.Mean, "job-Mflops[paper=320]")
+	b.ReportMetric(f.Std, "spread[paper=200]")
+	printOnce("fig4", f.Render())
+}
+
+func BenchmarkFigure5SystemIntervention(b *testing.B) {
+	res := campaign(b)
+	b.ResetTimer()
+	var f analysis.Figure5Data
+	for i := 0; i < b.N; i++ {
+		f = analysis.ComputeFigure5(res)
+	}
+	b.ReportMetric(f.Corr, "corr[paper<0]")
+	printOnce("fig5", f.Render())
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// measureKernel runs a kernel on a CPU configuration and reduces counters.
+func measureKernel(name string, cfg power2.Config, n uint64) hpm.Rates {
+	k, ok := kernels.ByName(name)
+	if !ok {
+		panic("bench: unknown kernel " + name)
+	}
+	cpu := power2.New(cfg)
+	cpu.RunLimited(k.New(1), n)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	return hpm.UserRates(d, cpu.Elapsed())
+}
+
+// BenchmarkAblationFPUIssuePolicy shows the FPU0-first issue rule is what
+// produces the paper's 1.7 asymmetry: round-robin flattens it to 1.0.
+func BenchmarkAblationFPUIssuePolicy(b *testing.B) {
+	var real, ablated hpm.Rates
+	for i := 0; i < b.N; i++ {
+		real = measureKernel("cfd", power2.Config{Seed: 1}, 100_000)
+		ablated = measureKernel("cfd", power2.Config{Seed: 1, Policy: power2.RoundRobin}, 100_000)
+	}
+	b.ReportMetric(real.FPUAsymmetry(), "fpu0/fpu1-real[paper=1.7]")
+	b.ReportMetric(ablated.FPUAsymmetry(), "fpu0/fpu1-roundrobin[=1.0]")
+}
+
+// BenchmarkAblationQuadCounting shows the quad-counts-as-one monitor
+// convention is why the paper's flops/memref reads ~0.5-0.6: counting the
+// quad's two doublewords separately inflates the memory instruction count.
+func BenchmarkAblationQuadCounting(b *testing.B) {
+	var real, ablated hpm.Rates
+	for i := 0; i < b.N; i++ {
+		real = measureKernel("cfd", power2.Config{Seed: 1}, 100_000)
+		ablated = measureKernel("cfd", power2.Config{Seed: 1, QuadCountsAsTwo: true}, 100_000)
+	}
+	b.ReportMetric(real.FlopsPerMemRef(), "flops/memref-quad1")
+	b.ReportMetric(ablated.FlopsPerMemRef(), "flops/memref-quad2")
+}
+
+// BenchmarkAblationCacheReplacement compares LRU (the POWER2) with random
+// replacement in the 4-way D-cache on the workload kernel.
+func BenchmarkAblationCacheReplacement(b *testing.B) {
+	lruCfg := power2.Config{Seed: 1}
+	rndCache := cacheConfigRandom()
+	rndCfg := power2.Config{Seed: 1, DCache: &rndCache}
+	var lru, rnd hpm.Rates
+	for i := 0; i < b.N; i++ {
+		lru = measureKernel("cfd", lruCfg, 100_000)
+		rnd = measureKernel("cfd", rndCfg, 100_000)
+	}
+	b.ReportMetric(100*lru.CacheMissRatio(), "miss-%-lru")
+	b.ReportMetric(100*rnd.CacheMissRatio(), "miss-%-random")
+}
+
+// BenchmarkAblationPaging contrasts the oversubscribed kernel on a starved
+// node (disk page-ins) with a well-provisioned one (zero-fill only): the
+// Figure 5 signature collapses without the paging model.
+func BenchmarkAblationPaging(b *testing.B) {
+	var starved, healthy float64
+	for i := 0; i < b.N; i++ {
+		k, _ := kernels.ByName("paging")
+		small := power2.New(power2.Config{Seed: 1, MemoryBytes: 32 << 20})
+		small.RunLimited(k.New(1), 700_000)
+		starved = hpm.SystemUserFXURatio(hpm.Sub(hpm.Snapshot{}, small.Monitor().Snapshot()))
+		big := power2.New(power2.Config{Seed: 1, MemoryBytes: 1 << 30})
+		big.RunLimited(k.New(1), 700_000)
+		healthy = hpm.SystemUserFXURatio(hpm.Sub(hpm.Snapshot{}, big.Monitor().Snapshot()))
+	}
+	b.ReportMetric(starved, "sys/user-fxu-starved")
+	b.ReportMetric(healthy, "sys/user-fxu-healthy")
+}
+
+// BenchmarkAblationDrainPolicy measures what the queue-drain rule buys the
+// >64-node jobs the paper discusses: without draining, backfill starves
+// them indefinitely on a busy machine.
+func BenchmarkAblationDrainPolicy(b *testing.B) {
+	runOnce := func(drainThreshold int) (bigJobWait float64) {
+		clock := &simclock.Clock{}
+		nodes := make([]*node.Node, 100)
+		for i := range nodes {
+			nodes[i] = node.New(node.Config{ID: i})
+		}
+		srv := pbs.New(clock, nodes, pbs.Config{DrainThreshold: drainThreshold})
+		// A steady stream of 30-node jobs plus one 80-node job.
+		for i := 0; i < 12; i++ {
+			at := simclock.Time(float64(i) * 50)
+			clock.At(at, func() {
+				if _, err := srv.Submit(pbs.Spec{Nodes: 30, WallSeconds: 300, Class: "x"}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+		clock.At(simclock.Time(10), func() {
+			if _, err := srv.Submit(pbs.Spec{Nodes: 80, WallSeconds: 100, Class: "big"}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		clock.Run()
+		for _, rec := range srv.Records() {
+			if rec.Class == "big" {
+				return (rec.StartAt - rec.SubmitAt).Seconds()
+			}
+		}
+		return -1 // never started
+	}
+	var withDrain, withoutDrain float64
+	for i := 0; i < b.N; i++ {
+		withDrain = runOnce(64)
+		withoutDrain = runOnce(150) // threshold above any job: pure backfill
+	}
+	b.ReportMetric(withDrain, "bigjob-wait-s-drain")
+	b.ReportMetric(withoutDrain, "bigjob-wait-s-nodrain")
+}
+
+// cacheConfigRandom builds the SP2 D-cache geometry with random
+// replacement (the ablation variant).
+func cacheConfigRandom() cache.Config {
+	return cache.Config{
+		SizeBytes:     256 * 1024,
+		LineBytes:     256,
+		Ways:          4,
+		Policy:        cache.Random,
+		WriteAllocate: true,
+	}
+}
+
+// --- Whole-system benches ------------------------------------------------
+
+// BenchmarkCPUSimulation measures raw instruction-level simulation speed.
+func BenchmarkCPUSimulation(b *testing.B) {
+	k, _ := kernels.ByName("cfd")
+	cpu := power2.New(power2.Config{Seed: 1})
+	s := k.New(1)
+	b.ResetTimer()
+	cpu.RunLimited(s, uint64(b.N))
+}
+
+// BenchmarkCampaignDay measures one simulated day of the full campaign
+// (job generation, PBS scheduling, profile extrapolation, daily reduction).
+func BenchmarkCampaignDay(b *testing.B) {
+	campaign(b) // ensure profiles measured
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := workload.DefaultConfig(uint64(i) + 2)
+		cfg.Days = 1
+		workload.NewCampaign(cfg, workload.DefaultMix(campStd)).Run()
+	}
+}
+
+// BenchmarkWhatIfIOWait runs the paper's closing recommendation — a
+// counter selection reporting I/O wait — against the NAS selection on the
+// two pathologies the campaign could only infer.
+func BenchmarkWhatIfIOWait(b *testing.B) {
+	var w analysis.IOWaitWhatIf
+	for i := 0; i < b.N; i++ {
+		w = analysis.MeasureIOWaitWhatIf(1)
+	}
+	b.ReportMetric(100*w.Paging.WaitFraction, "paging-iowait-%")
+	b.ReportMetric(100*w.MPI.WaitFraction, "mpi-iowait-%")
+	printOnce("whatif", w.Render())
+}
+
+// BenchmarkNPBSuite measures the full NAS Parallel Benchmark character set
+// on the CPU model (the NAS-96-010 extension of Table 4's BT reference).
+func BenchmarkNPBSuite(b *testing.B) {
+	var s analysis.NPBSuite
+	for i := 0; i < b.N; i++ {
+		s = analysis.MeasureNPBSuite(1, 200_000)
+	}
+	for _, r := range s.Rows {
+		b.ReportMetric(r.MflopsPerCPU, r.Name+"-Mflops")
+	}
+	printOnce("npb", s.Render())
+}
+
+// BenchmarkAblationCheckpointing implements the capability the paper says
+// the real system lacked ("System administrators could not checkpoint
+// MPI/PVM jobs and had to rely upon draining the queues") and measures
+// what it buys an 80-node job on a busy machine.
+func BenchmarkAblationCheckpointing(b *testing.B) {
+	runOnce := func(checkpoint bool) (bigJobWait float64, preemptions int) {
+		clock := &simclock.Clock{}
+		nodes := make([]*node.Node, 100)
+		for i := range nodes {
+			nodes[i] = node.New(node.Config{ID: i})
+		}
+		srv := pbs.New(clock, nodes, pbs.Config{DrainThreshold: 64, Checkpointing: checkpoint})
+		for i := 0; i < 12; i++ {
+			at := simclock.Time(float64(i) * 50)
+			clock.At(at, func() {
+				if _, err := srv.Submit(pbs.Spec{Nodes: 30, WallSeconds: 300, Class: "x", MemoryPerNodeBytes: 1 << 20}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+		clock.At(simclock.Time(10), func() {
+			if _, err := srv.Submit(pbs.Spec{Nodes: 80, WallSeconds: 100, Class: "big"}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		clock.Run()
+		for _, rec := range srv.Records() {
+			if rec.Class == "big" {
+				return (rec.StartAt - rec.SubmitAt).Seconds(), srv.Preemptions()
+			}
+		}
+		return -1, srv.Preemptions()
+	}
+	var drainWait, ckptWait float64
+	var preempts int
+	for i := 0; i < b.N; i++ {
+		drainWait, _ = runOnce(false)
+		ckptWait, preempts = runOnce(true)
+	}
+	b.ReportMetric(drainWait, "bigjob-wait-s-drain")
+	b.ReportMetric(ckptWait, "bigjob-wait-s-checkpoint")
+	b.ReportMetric(float64(preempts), "preemptions")
+}

@@ -1,0 +1,72 @@
+// Command calibrate runs each synthetic kernel through the POWER2 CPU model
+// in isolation and prints its full counter-derived rate profile. It is the
+// tool used to tune the kernel instruction mixes against the paper's
+// workload signature (Tables 2-4).
+//
+// Usage:
+//
+//	calibrate [-n instructions] [kernel ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hpm"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/power2"
+)
+
+func main() {
+	n := flag.Uint64("n", 500000, "instructions to simulate per kernel")
+	dump := flag.Bool("dump", false, "also print the stream's static mix (op histogram, code footprint)")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, k := range kernels.All() {
+			names = append(names, k.Name)
+		}
+	}
+
+	for _, name := range names {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calibrate: unknown kernel %q\n", name)
+			os.Exit(2)
+		}
+		profile(k, *n)
+		if *dump {
+			fmt.Println(isa.Describe(k.New(1), minU64(*n, 100_000)).String())
+		}
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func profile(k kernels.Kernel, n uint64) {
+	cpu := power2.New(power2.Config{Seed: 1})
+	st := cpu.RunLimited(k.New(1), n)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	r := hpm.UserRates(d, cpu.Elapsed())
+
+	fmt.Printf("=== %s — %s\n", k.Name, k.Description)
+	fmt.Printf("  instructions  %12d     cycles %12d     IPC %.3f\n", st.Instructions, st.Cycles, st.IPC())
+	fmt.Printf("  Mflops  all %7.2f  add %6.2f  mul %6.2f  fma %6.2f  div %6.2f (true div %d)\n",
+		r.MflopsAll, r.MflopsAdd, r.MflopsMul, r.MflopsFMA, r.MflopsDiv, cpu.Monitor().TrueDivides(hpm.User))
+	fmt.Printf("  Mips    tot %7.2f  fpu %6.2f (0:%5.2f 1:%5.2f)  fxu %6.2f (0:%5.2f 1:%5.2f)  icu %5.2f\n",
+		r.Mips, r.MipsFPU, r.MipsFPU0, r.MipsFPU1, r.MipsFXU, r.MipsFXU0, r.MipsFXU1, r.MipsICU)
+	fmt.Printf("  ratios  fma-frac %.3f  fpu0/fpu1 %.2f  flops/memref %.3f  branch-frac %.3f\n",
+		r.FMAFraction(), r.FPUAsymmetry(), r.FlopsPerMemRef(), r.BranchFraction())
+	fmt.Printf("  memory  cache %7.4f M/s (ratio %.4f)  tlb %7.4f M/s (ratio %.5f)  icache %.4f M/s\n",
+		r.DCacheMissM, r.CacheMissRatio(), r.TLBMissM, r.TLBMissRatio(), r.ICacheMissM)
+	fmt.Printf("  i/o     dma-read %.4f M/s  dma-write %.4f M/s  page-faults %d\n\n",
+		r.DMAReadM, r.DMAWriteM, st.PageFaults)
+}

@@ -1,0 +1,89 @@
+// Command experiments regenerates every table and figure of the paper.
+// It either loads a campaign database written by spsim -o, or runs the
+// campaign itself.
+//
+// Usage:
+//
+//	experiments -all                       # run 270-day campaign, print everything
+//	experiments -days 90 -table2 -fig3     # shorter campaign, selected outputs
+//	experiments -trace run.json.gz -all    # analyse a saved campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "load a saved campaign database instead of running one")
+	days := flag.Int("days", 270, "campaign length when running fresh")
+	nodes := flag.Int("nodes", 144, "cluster size when running fresh")
+	seed := flag.Uint64("seed", 1, "seed when running fresh")
+	all := flag.Bool("all", false, "emit every table and figure")
+	t1 := flag.Bool("table1", false, "Table 1: the 22-counter selection")
+	t2 := flag.Bool("table2", false, "Table 2: major rates over >2 Gflops days")
+	t3 := flag.Bool("table3", false, "Table 3: full rate breakdown")
+	t4 := flag.Bool("table4", false, "Table 4: hierarchical memory performance")
+	f1 := flag.Bool("fig1", false, "Figure 1: system performance history")
+	f2 := flag.Bool("fig2", false, "Figure 2: walltime by nodes requested")
+	f3 := flag.Bool("fig3", false, "Figure 3: per-node performance by nodes requested")
+	f4 := flag.Bool("fig4", false, "Figure 4: 16-node job history")
+	f5 := flag.Bool("fig5", false, "Figure 5: performance vs system intervention")
+	whatif := flag.Bool("whatif", false, "what-if: the I/O-wait counter selection the paper recommends")
+	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
+	flag.Parse()
+
+	if !(*all || *t1 || *t2 || *t3 || *t4 || *f1 || *f2 || *f3 || *f4 || *f5 || *whatif || *npb) {
+		*all = true
+	}
+
+	var res workload.Result
+	if *tracePath != "" {
+		var err error
+		res, err = trace.ReadFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d-day campaign from %s\n\n", len(res.Days), *tracePath)
+	} else {
+		fmt.Printf("measuring kernel profiles and running a %d-day campaign on %d nodes (seed %d)...\n\n",
+			*days, *nodes, *seed)
+		std := profile.MeasureStandard(*seed)
+		cfg := workload.DefaultConfig(*seed)
+		cfg.Days = *days
+		cfg.Nodes = *nodes
+		res = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+	}
+
+	emit := func(want bool, text string) {
+		if *all || want {
+			fmt.Println(text)
+		}
+	}
+	emit(*t1, analysis.RenderTable1())
+	emit(*t2, analysis.ComputeTable2(res).Render())
+	emit(*t3, analysis.ComputeTable3(res).Render())
+	if *all || *t4 {
+		seq := analysis.MeasureSequentialRow(*seed, 200_000)
+		bt := analysis.MeasureBT49Row(analysis.DefaultBT49())
+		fmt.Println(analysis.ComputeTable4(res, seq, bt).Render())
+	}
+	emit(*f1, analysis.ComputeFigure1(res).Render())
+	emit(*f2, analysis.ComputeFigure2(res).Render())
+	emit(*f3, analysis.ComputeFigure3(res).Render())
+	emit(*f4, analysis.ComputeFigure4(res).Render())
+	emit(*f5, analysis.ComputeFigure5(res).Render())
+	if *all || *whatif {
+		fmt.Println(analysis.MeasureIOWaitWhatIf(*seed).Render())
+	}
+	if *all || *npb {
+		fmt.Println(analysis.MeasureNPBSuite(*seed, 400_000).Render())
+	}
+}

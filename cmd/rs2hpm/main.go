@@ -1,0 +1,87 @@
+// Command rs2hpm is the counter-sampling client: it dials an rs2hpmd
+// daemon, lists the nodes it serves, and prints either raw counter totals
+// or — with -watch — the rates over a sampling interval, reduced exactly
+// as the paper's tables reduce them.
+//
+// Usage:
+//
+//	rs2hpm -addr 127.0.0.1:7117            # raw totals per node
+//	rs2hpm -addr 127.0.0.1:7117 -watch 5s  # rates over a 5-second window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/hpm"
+	"repro/internal/rs2hpm"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7117", "daemon address")
+	watch := flag.Duration("watch", 0, "sample twice this far apart and print rates")
+	flag.Parse()
+
+	client, err := rs2hpm.Dial(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer client.Close()
+
+	ids, err := client.Nodes()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("rs2hpm: daemon at %s serves %d nodes\n", *addr, len(ids))
+
+	if *watch <= 0 {
+		for _, id := range ids {
+			c, err := client.Counters(id)
+			if err != nil {
+				fail(err)
+			}
+			printTotals(id, c)
+		}
+		return
+	}
+
+	before := map[int]hpm.Counts64{}
+	for _, id := range ids {
+		c, err := client.Counters(id)
+		if err != nil {
+			fail(err)
+		}
+		before[id] = c
+	}
+	time.Sleep(*watch)
+	secs := watch.Seconds()
+	for _, id := range ids {
+		c, err := client.Counters(id)
+		if err != nil {
+			fail(err)
+		}
+		d := hpm.Sub64(before[id], c)
+		r := hpm.UserRates(d, secs)
+		fmt.Printf("node %3d: %7.2f Mflops  %7.2f Mips  fma-frac %.2f  fpu0/fpu1 %.2f  "+
+			"cache %.3f M/s  tlb %.4f M/s  sys/user-fxu %.2f\n",
+			id, r.MflopsAll, r.Mips, r.FMAFraction(), r.FPUAsymmetry(),
+			r.DCacheMissM, r.TLBMissM, hpm.SystemUserFXURatio(d))
+	}
+}
+
+func printTotals(id int, c hpm.Counts64) {
+	fmt.Printf("node %d:\n", id)
+	for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
+		info := hpm.Info(ev)
+		fmt.Printf("  %-20s %-8s %14d %14d\n",
+			info.Label, fmt.Sprintf("%s[%d]", info.Group, info.Index),
+			c.Get(hpm.User, ev), c.Get(hpm.System, ev))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rs2hpm: %v\n", err)
+	os.Exit(1)
+}

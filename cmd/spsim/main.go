@@ -1,0 +1,106 @@
+// Command spsim runs the nine-month NAS SP2 measurement campaign on the
+// simulated cluster and prints the headline numbers the paper reports:
+// daily system Gflops, utilisation, the >2 Gflops day sample, and the
+// batch-job population.
+//
+// Usage:
+//
+//	spsim [-days 270] [-nodes 144] [-seed 1] [-v] [-o db.json.gz] [-csv jobs.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	days := flag.Int("days", 270, "campaign length in days")
+	nodes := flag.Int("nodes", 144, "cluster size")
+	seed := flag.Uint64("seed", 1, "campaign random seed")
+	verbose := flag.Bool("v", false, "print per-day detail")
+	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
+	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig(*seed)
+	cfg.Days = *days
+	cfg.Nodes = *nodes
+
+	fmt.Printf("measuring kernel profiles...\n")
+	std := profile.MeasureStandard(*seed)
+	fmt.Printf("running %d-day campaign on %d nodes...\n", cfg.Days, cfg.Nodes)
+	res := workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+
+	if *out != "" {
+		if err := trace.WriteFile(*out, res); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("campaign database written to %s\n", *out)
+	}
+	if *csvOut != "" {
+		if err := trace.WriteRecordsCSVFile(*csvOut, res.Records); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("job database (CSV) written to %s\n", *csvOut)
+	}
+
+	var gflops, utils []float64
+	for _, d := range res.Days {
+		gflops = append(gflops, d.Gflops())
+		utils = append(utils, d.Utilization(cfg.Nodes))
+		if *verbose {
+			r := d.PerNodeRates(cfg.Nodes)
+			fmt.Printf("day %3d  %5.2f Gflops  util %4.1f%%  mflops/node %5.2f  sys/user-fxu %4.2f\n",
+				d.Index, d.Gflops(), 100*d.Utilization(cfg.Nodes), r.MflopsAll, d.SystemUserFXURatio())
+		}
+	}
+
+	fmt.Printf("\n=== campaign summary (paper values in brackets) ===\n")
+	fmt.Printf("daily system rate   : mean %.2f Gflops [1.3], max %.2f [3.4]\n",
+		stats.Mean(gflops), stats.Max(gflops))
+	fmt.Printf("max 15-minute rate  : %.2f Gflops [5.7]\n", res.MaxGflops15min)
+	fmt.Printf("utilization         : mean %.0f%% [64%%], max %.0f%% [95%%]\n",
+		100*stats.Mean(utils), 100*stats.Max(utils))
+
+	good := 0
+	var goodR []float64
+	for _, d := range res.Days {
+		if d.Gflops() > 2.0 {
+			good++
+			goodR = append(goodR, d.PerNodeRates(cfg.Nodes).MflopsAll)
+		}
+	}
+	fmt.Printf("days > 2.0 Gflops   : %d of %d [30 of 270], avg %.1f Mflops/node [17.4]\n",
+		good, len(res.Days), stats.Mean(goodR))
+
+	// Batch population.
+	fmt.Printf("\nbatch records       : %d (dropped %d under 600 s)\n", len(res.Records), res.DroppedRecords)
+	byNodes := map[int]float64{}
+	var jobMf []float64
+	var jobWall []float64
+	for _, r := range res.Records {
+		byNodes[r.NodesUsed] += r.WallSeconds
+		jobMf = append(jobMf, r.PerNodeRates().MflopsAll)
+		jobWall = append(jobWall, r.WallSeconds)
+	}
+	fmt.Printf("time-weighted job rate: %.1f Mflops/node [19]\n",
+		stats.WeightedMean(jobMf, jobWall))
+	var keys []int
+	for k := range byNodes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("walltime by node count:\n")
+	for _, k := range keys {
+		fmt.Printf("  %3d nodes: %10.0f s\n", k, byNodes[k])
+	}
+}

@@ -1,0 +1,61 @@
+// Register-reuse study: the paper anchors its analysis on a blocked,
+// unrolled matrix multiply that sustains ~240 Mflops with a
+// flops-per-memory-reference ratio of 3.0, against a workload average of
+// 0.53 ("many of the codes were not making good reuse of the registers").
+//
+// This example measures the blocked matmul kernel, then builds a naive
+// non-blocked variant inline — one fma per load pair, no register tiling,
+// streaming operands — and shows how register reuse alone separates them.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hpm"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/power2"
+)
+
+// naiveMatMul is the untiled inner loop: every fma re-loads both operands
+// from streaming arrays, so there is no register reuse to exploit and the
+// serial accumulator chain limits ILP.
+func naiveMatMul() isa.Stream {
+	b := isa.NewBuilder()
+	x, y, acc := b.FPR(), b.FPR(), b.FPR()
+	b.Load(x, isa.Ref{Base: 0x100000, Stride: 8})
+	b.Load(y, isa.Ref{Base: 0x4100000, Stride: 8})
+	b.FMA(acc, x, y, acc)
+	b.IntALU(0, 0)
+	b.Branch()
+	return b.Build(1<<62, 0x9000)
+}
+
+func measure(name string, s isa.Stream, n uint64) hpm.Rates {
+	cpu := power2.New(power2.Config{Seed: 1})
+	cpu.RunLimited(s, n)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	r := hpm.UserRates(d, cpu.Elapsed())
+	fmt.Printf("%-22s %8.1f Mflops   flops/memref %5.2f   fma-frac %4.2f   cache-miss %5.2f%%\n",
+		name, r.MflopsAll, r.FlopsPerMemRef(), r.FMAFraction(), 100*r.CacheMissRatio())
+	return r
+}
+
+func main() {
+	fmt.Println("single-node matrix multiply on the simulated POWER2 (paper section 5)")
+	fmt.Println()
+
+	blocked, _ := kernels.ByName("matmul")
+	rb := measure("blocked + unrolled", blocked.New(1), 600_000)
+	rn := measure("naive (no blocking)", naiveMatMul(), 600_000)
+
+	fmt.Println()
+	fmt.Printf("speedup from register blocking: %.1fx\n", rb.MflopsAll/rn.MflopsAll)
+	fmt.Printf("paper's anchors: 240 Mflops and flops/memref 3.0 for the blocked code;\n")
+	fmt.Printf("the workload averaged 0.53 flops/memref — closer to the naive loop's %.2f.\n",
+		rn.FlopsPerMemRef())
+	fmt.Printf("achievable single-node peak (paper): ~240 of 267 Mflops; measured blocked: %.0f.\n",
+		rb.MflopsAll)
+}

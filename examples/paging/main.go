@@ -1,0 +1,48 @@
+// The >64-node pathology: the paper's surprising finding was that large
+// jobs oversubscribed node memory and spent more instructions in system
+// mode than user mode — AIX was paging. This example runs the same
+// oversubscribed kernel on a healthy node and a memory-starved one and
+// prints the Figure 5 signature: the system-FXU/user-FXU ratio and the
+// performance collapse that comes with it.
+//
+//	go run ./examples/paging
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hpm"
+	"repro/internal/kernels"
+	"repro/internal/power2"
+)
+
+func run(label string, memoryBytes uint64, instrs uint64) {
+	kernel, _ := kernels.ByName("paging")
+	cpu := power2.New(power2.Config{Seed: 1, MemoryBytes: memoryBytes})
+	cpu.RunLimited(kernel.New(1), instrs)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	r := hpm.UserRates(d, cpu.Elapsed())
+	vmStats := cpu.VM().Stats()
+
+	fmt.Printf("%-28s %8.2f Mflops   zero-fill faults %6d   disk page-ins %7d   sys/user FXU %8.1f\n",
+		label, r.MflopsAll, vmStats.ZeroFills, vmStats.PageIns, hpm.SystemUserFXURatio(d))
+	if w := d.Get(hpm.System, hpm.EvDMAWrite); w > 0 {
+		fmt.Printf("%-28s paging-disk traffic: %d page-in DMA transfers charged in system mode\n", "", w)
+	}
+}
+
+func main() {
+	fmt.Println("memory oversubscription on the simulated SP2 node (paper section 6, Figure 5)")
+	fmt.Println("kernel: page-striding sweep over a 256 MB working set, revisited repeatedly")
+	fmt.Println()
+	// Two full sweeps of the working set so steady-state paging dominates.
+	const instrs = 700_000
+	run("healthy node (1 GB)", 1<<30, instrs)
+	run("oversubscribed node (32 MB)", 32<<20, instrs)
+	fmt.Println()
+	fmt.Println("the healthy node only zero-fills each page once (first touch, no disk); the")
+	fmt.Println("starved node keeps reclaiming and re-reading pages from paging space, its")
+	fmt.Println("floating rate collapses, and the OS executes far more fixed-point instructions")
+	fmt.Println("than the user code — exactly how the paper diagnosed that its >64-node jobs")
+	fmt.Println("were paging, without any I/O-wait counter in the 22-event selection.")
+}

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hpm"
+	"repro/internal/hps"
+	"repro/internal/kernels"
+	"repro/internal/mpi"
+	"repro/internal/node"
+	"repro/internal/power2"
+	"repro/internal/units"
+)
+
+// MeasureSequentialRow micro-simulates the paper's sequential-access
+// thought experiment: a single large array swept with no reuse. The
+// expected ratios are 1 cache miss per 32 real*8 elements (~3%) and 1 TLB
+// miss per 512 (~0.2%); the Mflops cell is blank in the paper.
+func MeasureSequentialRow(seed uint64, instrs uint64) Table4Row {
+	k, ok := kernels.ByName("sequential")
+	if !ok {
+		panic("analysis: sequential kernel missing")
+	}
+	cpu := power2.New(power2.Config{Seed: seed})
+	cpu.RunLimited(k.New(seed), instrs)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	r := hpm.UserRates(d, cpu.Elapsed())
+	return Table4Row{
+		CacheMissRatio: r.CacheMissRatio(),
+		TLBMissRatio:   r.TLBMissRatio(),
+	}
+}
+
+// BT49Config tunes the 49-CPU NPB BT run.
+type BT49Config struct {
+	Ranks          int    // 49 in the paper
+	Steps          int    // solver iterations
+	InstrsPerStep  uint64 // compute burst per iteration
+	HaloBytes      uint64 // boundary exchange per neighbour per step
+	NormEverySteps int    // allreduce cadence (residual norms)
+	Seed           uint64
+}
+
+// DefaultBT49 matches the paper's 49-CPU run at a microsim-friendly scale:
+// the compute/communication ratio is what sets the measured Mflops/CPU.
+func DefaultBT49() BT49Config {
+	return BT49Config{
+		Ranks:          49,
+		Steps:          20,
+		InstrsPerStep:  50_000,
+		HaloBytes:      8 << 10,
+		NormEverySteps: 4,
+		Seed:           1,
+	}
+}
+
+// MeasureBT49Row runs the BT kernel as a real 49-rank message-passing job
+// on the simulated switch — every rank executes its instruction stream
+// through its node's CPU model, exchanges halos around a ring, and joins
+// periodic residual allreduces. The returned row is derived from the
+// counters exactly as RS2HPM derived the paper's: counter deltas over the
+// job's wall time.
+func MeasureBT49Row(cfg BT49Config) Table4Row {
+	k, ok := kernels.ByName("bt")
+	if !ok {
+		panic("analysis: bt kernel missing")
+	}
+	net := hps.New(hps.SP2())
+	nodes := make([]*node.Node, cfg.Ranks)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{ID: i})
+	}
+	world := mpi.NewWorld(net, nodes)
+
+	world.Run(func(r *mpi.Rank) {
+		stream := k.New(cfg.Seed + uint64(r.ID()))
+		right := (r.ID() + 1) % cfg.Ranks
+		left := (r.ID() + cfg.Ranks - 1) % cfg.Ranks
+		for step := 0; step < cfg.Steps; step++ {
+			// Mild load imbalance: boundary blocks are bigger.
+			burst := cfg.InstrsPerStep
+			if r.ID()%7 == 0 {
+				burst += cfg.InstrsPerStep / 10
+			}
+			r.ComputeStream(stream, burst)
+			if cfg.Ranks > 1 {
+				r.SendRecv(right, cfg.HaloBytes, left)
+			}
+			if cfg.NormEverySteps > 0 && (step+1)%cfg.NormEverySteps == 0 {
+				r.Allreduce(256)
+			}
+		}
+	})
+
+	// Job wall time: the slowest rank.
+	wall := 0.0
+	for _, r := range world.Ranks() {
+		if r.Now() > wall {
+			wall = r.Now()
+		}
+	}
+	var total hpm.Delta
+	for _, nd := range nodes {
+		total.Add(hpm.Sub64(hpm.Counts64{}, nd.Counters()))
+	}
+	r := hpm.UserRates(total, wall*float64(cfg.Ranks))
+	return Table4Row{
+		CacheMissRatio: r.CacheMissRatio(),
+		TLBMissRatio:   r.TLBMissRatio(),
+		MflopsPerCPU:   r.MflopsAll,
+	}
+}
+
+// IOWaitRow is one scenario of the what-if experiment.
+type IOWaitRow struct {
+	Scenario string
+	// Under the NAS selection the only paging clue is the system/user FXU
+	// inference of Figure 5; I/O wait itself is invisible.
+	NASSysUserFXU float64
+	// Under the I/O-wait selection the wait is measured directly.
+	WaitFraction    float64 // io_wait cycles / wall cycles
+	PageIns         uint64
+	SwitchTransfers uint64
+}
+
+// IOWaitWhatIf is the experiment behind the paper's closing recommendation:
+// "other sites ... might consider selecting counter options which could
+// also report I/O wait time in addition to CPU performance". It runs the
+// two pathologies the paper could only infer — paging and message-wait —
+// once under the NAS selection and once under the I/O-wait selection.
+type IOWaitWhatIf struct {
+	Paging IOWaitRow
+	MPI    IOWaitRow
+}
+
+// MeasureIOWaitWhatIf runs both scenarios under both selections.
+func MeasureIOWaitWhatIf(seed uint64) IOWaitWhatIf {
+	return IOWaitWhatIf{
+		Paging: measurePagingWhatIf(seed),
+		MPI:    measureMPIWhatIf(seed),
+	}
+}
+
+// measurePagingWhatIf runs the oversubscribed kernel on a starved node.
+func measurePagingWhatIf(seed uint64) IOWaitRow {
+	k, ok := kernels.ByName("paging")
+	if !ok {
+		panic("analysis: paging kernel missing")
+	}
+	run := func(selection string) (hpm.Delta, uint64) {
+		cpu := power2.New(power2.Config{Seed: seed, MemoryBytes: 32 << 20})
+		if err := cpu.Monitor().Arm(selection); err != nil {
+			panic(err)
+		}
+		cpu.RunLimited(k.New(seed), 700_000)
+		return hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot()), cpu.Cycle()
+	}
+
+	nasDelta, _ := run("nas")
+	ioDelta, cycles := run("iowait")
+
+	row := IOWaitRow{Scenario: "oversubscribed node (paging)"}
+	row.NASSysUserFXU = hpm.SystemUserFXURatio(nasDelta)
+	// Under the iowait selection, slot EvICacheReload carries io_wait
+	// cycles, EvDMARead carries page-ins, EvDMAWrite switch payload.
+	wait := ioDelta.Total(hpm.EvICacheReload)
+	row.WaitFraction = float64(wait) / float64(cycles)
+	row.PageIns = ioDelta.Total(hpm.EvDMARead)
+	row.SwitchTransfers = ioDelta.Total(hpm.EvDMAWrite)
+	return row
+}
+
+// measureMPIWhatIf runs a small imbalanced message-passing job: one
+// straggler rank makes the others wait, which the NAS selection cannot
+// see at all.
+func measureMPIWhatIf(seed uint64) IOWaitRow {
+	const ranks = 4
+	run := func(selection string) ([]*node.Node, float64) {
+		net := hps.New(hps.SP2())
+		nodes := make([]*node.Node, ranks)
+		for i := range nodes {
+			nodes[i] = node.New(node.Config{ID: i})
+			if err := nodes[i].CPU().Monitor().Arm(selection); err != nil {
+				panic(err)
+			}
+			nodes[i].ResetMonitor()
+		}
+		world := mpi.NewWorld(net, nodes)
+		k, _ := kernels.ByName("bt")
+		world.Run(func(r *mpi.Rank) {
+			s := k.New(seed + uint64(r.ID()))
+			right := (r.ID() + 1) % ranks
+			left := (r.ID() + ranks - 1) % ranks
+			for step := 0; step < 10; step++ {
+				burst := uint64(30_000)
+				if r.ID() == 0 {
+					burst *= 2 // the straggler
+				}
+				r.ComputeStream(s, burst)
+				r.SendRecv(right, 8<<10, left)
+				r.Barrier()
+			}
+		})
+		wall := 0.0
+		for _, rk := range world.Ranks() {
+			if rk.Now() > wall {
+				wall = rk.Now()
+			}
+		}
+		return nodes, wall
+	}
+
+	nasNodes, _ := run("nas")
+	var nasTotal hpm.Delta
+	for _, nd := range nasNodes {
+		nasTotal.Add(hpm.Sub64(hpm.Counts64{}, nd.Counters()))
+	}
+
+	ioNodes, wall := run("iowait")
+	var ioTotal hpm.Delta
+	for _, nd := range ioNodes {
+		ioTotal.Add(hpm.Sub64(hpm.Counts64{}, nd.Counters()))
+	}
+
+	row := IOWaitRow{Scenario: "imbalanced 4-rank MPI job"}
+	row.NASSysUserFXU = hpm.SystemUserFXURatio(nasTotal)
+	wait := ioTotal.Total(hpm.EvICacheReload)
+	row.WaitFraction = float64(wait) / (wall * units.ClockHz * ranks)
+	row.PageIns = ioTotal.Total(hpm.EvDMARead)
+	row.SwitchTransfers = ioTotal.Total(hpm.EvDMAWrite)
+	return row
+}
+
+// Render formats the what-if table.
+func (w IOWaitWhatIf) Render() string {
+	var b strings.Builder
+	b.WriteString("What-if: the I/O-wait counter selection the paper recommends\n")
+	b.WriteString("(same workloads, monitor re-armed; NAS selection sees no wait at all)\n")
+	fmt.Fprintf(&b, "%-32s %18s %14s %10s %12s\n",
+		"scenario", "NAS: sys/user FXU", "io-wait frac", "page-ins", "switch-64B")
+	for _, r := range []IOWaitRow{w.Paging, w.MPI} {
+		fmt.Fprintf(&b, "%-32s %18.2f %13.1f%% %10d %12d\n",
+			r.Scenario, r.NASSysUserFXU, 100*r.WaitFraction, r.PageIns, r.SwitchTransfers)
+	}
+	b.WriteString("the paging node's wait is inferable from sys/user FXU (Figure 5); the MPI\n")
+	b.WriteString("job's wait is invisible to the NAS selection and measured directly here.\n")
+	return b.String()
+}
+
+// NPBRow is one benchmark's measured signature.
+type NPBRow struct {
+	Name           string
+	MflopsPerCPU   float64 // crunch-level, single CPU
+	FMAFraction    float64
+	FlopsPerMemRef float64
+	CacheMissRatio float64
+	TLBMissRatio   float64
+}
+
+// NPBSuite extends the paper's single BT reference (Table 4) to the full
+// NAS Parallel Benchmark character set the NAS-96-010 report covers. The
+// rows are single-CPU crunch signatures from the CPU model.
+type NPBSuite struct {
+	Rows []NPBRow
+}
+
+// MeasureNPBSuite runs every NPB-class kernel through the CPU model.
+func MeasureNPBSuite(seed uint64, instrs uint64) NPBSuite {
+	var s NPBSuite
+	for _, name := range []string{"bt", "sp", "lu", "mg", "ft", "cg"} {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			panic("analysis: missing NPB kernel " + name)
+		}
+		cpu := power2.New(power2.Config{Seed: seed})
+		cpu.RunLimited(k.New(seed), instrs)
+		d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+		r := hpm.UserRates(d, cpu.Elapsed())
+		s.Rows = append(s.Rows, NPBRow{
+			Name:           name,
+			MflopsPerCPU:   r.MflopsAll,
+			FMAFraction:    r.FMAFraction(),
+			FlopsPerMemRef: r.FlopsPerMemRef(),
+			CacheMissRatio: r.CacheMissRatio(),
+			TLBMissRatio:   r.TLBMissRatio(),
+		})
+	}
+	return s
+}
+
+// Render formats the suite table.
+func (s NPBSuite) Render() string {
+	var b strings.Builder
+	b.WriteString("NPB suite on the simulated POWER2 (single-CPU crunch signatures;\n")
+	b.WriteString("extends Table 4's BT reference across the NAS-96-010 benchmark set)\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %14s %12s %10s\n",
+		"bench", "Mflops", "fma-frac", "flops/memref", "cache-miss", "tlb-miss")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-6s %10.1f %10.2f %14.2f %11.2f%% %9.3f%%\n",
+			r.Name, r.MflopsPerCPU, r.FMAFraction, r.FlopsPerMemRef,
+			100*r.CacheMissRatio, 100*r.TLBMissRatio)
+	}
+	b.WriteString("the better-performing codes do >=2/3 of their flops in fma (paper: >=80%\n")
+	b.WriteString("for the best codes); CG's gathers and FT's transposes show the cache- and\n")
+	b.WriteString("TLB-hostile extremes the paper's sequential-access thought experiment bounds.\n")
+	return b.String()
+}

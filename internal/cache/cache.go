@@ -1,0 +1,229 @@
+// Package cache implements the set-associative caches of the RS6000/590
+// node: the 256 KB four-way data cache (1024 lines of 256 bytes) and the
+// instruction cache. The model tracks exactly the events the SCU counters
+// report — reloads from memory, and castouts of modified lines back to
+// memory (the paper's user.dcache_reload and user.dcache_store events).
+package cache
+
+import "fmt"
+
+// Replacement selects the victim policy for a set.
+type Replacement uint8
+
+// Replacement policies. LRU is the POWER2 behaviour; Random exists for the
+// ablation bench called out in DESIGN.md.
+const (
+	LRU Replacement = iota
+	Random
+)
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Policy    Replacement
+	// WriteAllocate controls whether a store miss fills the line (the
+	// POWER2 D-cache is store-in / write-allocate).
+	WriteAllocate bool
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*line %d", c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	sets := c.SizeBytes / c.LineBytes / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates the monitor-visible cache events.
+type Stats struct {
+	Hits     uint64
+	Misses   uint64
+	Reloads  uint64 // lines brought in from memory (== misses for this model)
+	Castouts uint64 // modified lines written back on eviction
+}
+
+// MissRatio reports misses over total references (0 for no references).
+func (s Stats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Accesses reports total references.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse orders lines for LRU within a set.
+	lastUse uint64
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; each
+// simulated node owns its caches.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	stats     Stats
+	tick      uint64
+	// rndState is a tiny xorshift for the Random policy ablation.
+	rndState uint64
+}
+
+// New builds a cache with the given geometry; it panics on an invalid
+// configuration (geometry is fixed at construction, so this is a programming
+// error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		lineShift: shift,
+		rndState:  0x9e3779b97f4a7c15,
+	}
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counts without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return lineAddr & c.setMask, lineAddr >> uintLog2(uint64(len(c.sets)))
+}
+
+func uintLog2(n uint64) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+func (c *Cache) nextRnd() uint64 {
+	x := c.rndState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rndState = x
+	return x
+}
+
+// Access performs a reference to addr. isStore marks a write. It returns
+// true on a hit. On a miss the line is reloaded (subject to the
+// write-allocate setting) and a modified victim is cast out.
+func (c *Cache) Access(addr uint64, isStore bool) bool {
+	c.tick++
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			if isStore {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+
+	c.stats.Misses++
+	if isStore && !c.cfg.WriteAllocate {
+		// Write-through-no-allocate: the store goes to memory, no fill.
+		return false
+	}
+
+	// Choose a victim: first invalid way, else policy.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case Random:
+			victim = int(c.nextRnd() % uint64(len(set)))
+		default: // LRU
+			victim = 0
+			for i := 1; i < len(set); i++ {
+				if set[i].lastUse < set[victim].lastUse {
+					victim = i
+				}
+			}
+		}
+		if set[victim].dirty {
+			c.stats.Castouts++
+		}
+	}
+
+	set[victim] = line{tag: tag, valid: true, dirty: isStore, lastUse: c.tick}
+	c.stats.Reloads++
+	return false
+}
+
+// Contains reports whether addr currently hits without touching any state
+// or statistics (a probe, for tests and warm-up checks).
+func (c *Cache) Contains(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, casting out modified ones (counted in
+// Castouts). Used at job boundaries: PBS gave users dedicated nodes, so a
+// new job starts cold.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				c.stats.Castouts++
+			}
+			c.sets[s][w] = line{}
+		}
+	}
+}

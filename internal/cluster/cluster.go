@@ -1,0 +1,111 @@
+// Package cluster assembles the NAS SP2: N RS6000/590 nodes wired to one
+// High Performance Switch, with an optional RS2HPM daemon fronting every
+// node's counters. It is the construction kit the daemon binary and the
+// examples use; the campaign layer builds its own nodes because PBS owns
+// their lifecycle there.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/hps"
+	"repro/internal/nfs"
+	"repro/internal/node"
+	"repro/internal/power2"
+	"repro/internal/rs2hpm"
+	"repro/internal/units"
+)
+
+// Config sizes the cluster.
+type Config struct {
+	// Nodes is the node count; zero selects the SP2's 144.
+	Nodes int
+	// MemoryBytes per node; zero selects 128 MB.
+	MemoryBytes uint64
+	// CPU template applied to every node (per-node seeds are derived).
+	CPU power2.Config
+}
+
+// Cluster is an assembled machine.
+type Cluster struct {
+	nodes  []*node.Node
+	net    *hps.Network
+	daemon *rs2hpm.Daemon
+	homes  *nfs.Mount
+}
+
+// New builds the cluster and attaches every node to the switch.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = units.NodeCount
+	}
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("cluster: bad node count %d", cfg.Nodes))
+	}
+	c := &Cluster{net: hps.New(hps.SP2())}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := node.New(node.Config{ID: i, MemoryBytes: cfg.MemoryBytes, CPU: cfg.CPU})
+		c.nodes = append(c.nodes, n)
+		c.net.Attach(n)
+	}
+	// The NFS-mounted home filesystems (3 x 8 GB), reachable from every
+	// node over the switch.
+	c.homes = nfs.New(c.net, nfs.SP2Config())
+	return c
+}
+
+// Size reports the node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i; it panics on an out-of-range index.
+func (c *Cluster) Node(i int) *node.Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d of %d", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// Nodes returns all nodes (shared slice copy).
+func (c *Cluster) Nodes() []*node.Node {
+	out := make([]*node.Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Network exposes the switch fabric.
+func (c *Cluster) Network() *hps.Network { return c.net }
+
+// Homes exposes the NFS home filesystems.
+func (c *Cluster) Homes() *nfs.Mount { return c.homes }
+
+// Transfer moves bytes between two nodes over the switch, charging the
+// endpoint DMA counters, and returns the transfer time.
+func (c *Cluster) Transfer(src, dst int, bytes uint64) (float64, error) {
+	return c.net.Deliver(src, dst, bytes)
+}
+
+// ServeHPM starts an RS2HPM daemon fronting every node on addr (use
+// "127.0.0.1:0" to pick a free port) and returns the bound address.
+func (c *Cluster) ServeHPM(addr string) (string, error) {
+	if c.daemon != nil {
+		return "", fmt.Errorf("cluster: daemon already serving")
+	}
+	d := rs2hpm.NewDaemon()
+	for _, n := range c.nodes {
+		d.AddSource(n)
+	}
+	bound, err := d.Start(addr)
+	if err != nil {
+		return "", err
+	}
+	c.daemon = d
+	return bound, nil
+}
+
+// Close stops the daemon if one is serving.
+func (c *Cluster) Close() {
+	if c.daemon != nil {
+		c.daemon.Close()
+		c.daemon = nil
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/rs2hpm"
+)
+
+func TestDefaultsTo144Nodes(t *testing.T) {
+	c := New(Config{})
+	if c.Size() != 144 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if c.Network().Attached() != 144+3 { // nodes + the 3 home filesystems
+		t.Fatalf("attached = %d", c.Network().Attached())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	c := New(Config{Nodes: 4})
+	if c.Node(3).ID() != 3 {
+		t.Fatal("Node(3) wrong")
+	}
+	if len(c.Nodes()) != 4 {
+		t.Fatal("Nodes() wrong length")
+	}
+	// The returned slice must not alias internal storage.
+	ns := c.Nodes()
+	ns[0] = nil
+	if c.Node(0) == nil {
+		t.Fatal("Nodes() aliases internals")
+	}
+}
+
+func TestNodePanicsOutOfRange(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	for _, i := range []int{-1, 2} {
+		i := i
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Node(%d) did not panic", i)
+				}
+			}()
+			c.Node(i)
+		}()
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{Nodes: -1})
+}
+
+func TestTransferChargesDMA(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	sec, err := c.Transfer(0, 1, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatal("no transfer time")
+	}
+	if got := c.Node(0).Counters().Get(hpm.User, hpm.EvDMARead); got != 100 {
+		t.Fatalf("sender dma_read = %d", got)
+	}
+	if got := c.Node(1).Counters().Get(hpm.User, hpm.EvDMAWrite); got != 100 {
+		t.Fatalf("receiver dma_write = %d", got)
+	}
+}
+
+func TestServeHPMEndToEnd(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	addr, err := c.ServeHPM("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Double serve is rejected.
+	if _, err := c.ServeHPM("127.0.0.1:0"); err == nil {
+		t.Fatal("second ServeHPM accepted")
+	}
+	client, err := rs2hpm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ids, err := client.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("daemon serves %d nodes", len(ids))
+	}
+	// Counter state flows through.
+	c.Transfer(0, 1, 640)
+	snap, err := client.Counters(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Get(hpm.User, hpm.EvDMARead) != 10 {
+		t.Fatalf("counters over TCP = %d", snap.Get(hpm.User, hpm.EvDMARead))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	c.Close() // no daemon: no-op
+	if _, err := c.ServeHPM("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+}
+
+func TestHomesMountedOverSwitch(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	if len(c.Homes().Servers()) != 3 {
+		t.Fatalf("home volumes = %d", len(c.Homes().Servers()))
+	}
+	if _, err := c.Homes().Write(0, "/u/test/a.dat", 6400); err != nil {
+		t.Fatal(err)
+	}
+	// The write travelled the switch: client DMA charged.
+	if got := c.Node(0).Counters().Get(hpm.User, hpm.EvDMARead); got != 100 {
+		t.Fatalf("client dma_read = %d", got)
+	}
+	if _, _, err := c.Homes().Read(1, "/u/test/a.dat"); err != nil {
+		t.Fatal(err)
+	}
+}

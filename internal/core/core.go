@@ -1,0 +1,104 @@
+// Package core is the library facade: one type that wires together the
+// whole reproduction — kernel profile measurement on the POWER2 CPU model,
+// the nine-month PBS workload campaign, and the analysis that regenerates
+// every table and figure of Bergeron's SC'98 measurement study.
+//
+// Typical use:
+//
+//	sys := core.New(core.Config{Seed: 1})
+//	res := sys.RunCampaign()
+//	fmt.Print(sys.Report(res))
+//
+// Lower layers remain importable for finer control: power2 (the CPU),
+// hpm (the counter architecture), rs2hpm (the daemon/collector), mpi/hps
+// (message passing), pbs (the batch system), workload (the campaign) and
+// analysis (tables and figures).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/hpm"
+	"repro/internal/kernels"
+	"repro/internal/power2"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config selects the campaign scale. Zero values choose the paper's
+// parameters (270 days, 144 nodes).
+type Config struct {
+	Days  int
+	Nodes int
+	Seed  uint64
+}
+
+// System is a configured reproduction: measured kernel profiles plus the
+// campaign and analysis plumbing.
+type System struct {
+	cfg Config
+	std profile.Standard
+	mix workload.Mix
+}
+
+// New measures the standard kernel profiles (a few hundred thousand
+// simulated instructions each) and returns a ready System.
+func New(cfg Config) *System {
+	if cfg.Days == 0 {
+		cfg.Days = 270
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = units.NodeCount
+	}
+	std := profile.MeasureStandard(cfg.Seed)
+	return &System{cfg: cfg, std: std, mix: workload.DefaultMix(std)}
+}
+
+// Profiles exposes the measured kernel signatures.
+func (s *System) Profiles() profile.Standard { return s.std }
+
+// CampaignConfig returns the workload configuration the system will run.
+func (s *System) CampaignConfig() workload.Config {
+	wc := workload.DefaultConfig(s.cfg.Seed)
+	wc.Days = s.cfg.Days
+	wc.Nodes = s.cfg.Nodes
+	return wc
+}
+
+// RunCampaign executes the measurement window and returns its reduction.
+func (s *System) RunCampaign() workload.Result {
+	return workload.NewCampaign(s.CampaignConfig(), s.mix).Run()
+}
+
+// MeasureKernel micro-simulates a registered kernel on a fresh SP2 node
+// CPU and returns its counter-derived rates.
+func (s *System) MeasureKernel(name string, instrs uint64) (hpm.Rates, error) {
+	k, ok := kernels.ByName(name)
+	if !ok {
+		return hpm.Rates{}, fmt.Errorf("core: unknown kernel %q", name)
+	}
+	cpu := power2.New(power2.Config{Seed: s.cfg.Seed + 1})
+	cpu.RunLimited(k.New(s.cfg.Seed+1), instrs)
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	return hpm.UserRates(d, cpu.Elapsed()), nil
+}
+
+// Report renders every table and figure from a campaign result.
+func (s *System) Report(res workload.Result) string {
+	var b strings.Builder
+	b.WriteString(analysis.RenderTable1())
+	b.WriteString("\n")
+	b.WriteString(analysis.ComputeTable2(res).Render())
+	b.WriteString("\n")
+	b.WriteString(analysis.ComputeTable3(res).Render())
+	b.WriteString("\n")
+	seq := analysis.MeasureSequentialRow(s.cfg.Seed, 200_000)
+	bt := analysis.MeasureBT49Row(analysis.DefaultBT49())
+	b.WriteString(analysis.ComputeTable4(res, seq, bt).Render())
+	b.WriteString("\n")
+	b.WriteString(analysis.RenderAll(res))
+	return b.String()
+}

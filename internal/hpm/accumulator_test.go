@@ -1,0 +1,171 @@
+package hpm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorExtendsPastWrap(t *testing.T) {
+	m := New()
+	a := NewAccumulator(m)
+	// Drive the cycles register around the 32-bit horn three times. The
+	// daemon's contract is that it samples before any register advances a
+	// full 2^32 between reads (multipass mode), so sample between bursts.
+	for i := 0; i < 3; i++ {
+		m.Add(EvCycles, math.MaxUint32)
+		a.Sample()
+		m.Add(EvCycles, 1) // completes one wrap per pass
+		a.Sample()
+	}
+	want := 3 * (uint64(math.MaxUint32) + 1)
+	if got := a.Totals().Get(User, EvCycles); got != want {
+		t.Fatalf("extended cycles = %d, want %d", got, want)
+	}
+}
+
+func TestAccumulatorBaseline(t *testing.T) {
+	m := New()
+	m.Add(EvCycles, 500) // activity before the accumulator attaches
+	a := NewAccumulator(m)
+	a.Sample()
+	if got := a.Totals().Get(User, EvCycles); got != 0 {
+		t.Fatalf("pre-attach activity leaked: %d", got)
+	}
+	m.Add(EvCycles, 7)
+	a.Sample()
+	if got := a.Totals().Get(User, EvCycles); got != 7 {
+		t.Fatalf("totals = %d", got)
+	}
+}
+
+func TestAccumulatorSampleIdempotentWhenQuiet(t *testing.T) {
+	m := New()
+	a := NewAccumulator(m)
+	m.Add(EvFXU0Instr, 9)
+	a.Sample()
+	a.Sample()
+	a.Sample()
+	if got := a.Totals().Get(User, EvFXU0Instr); got != 9 {
+		t.Fatalf("re-sampling double-counted: %d", got)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	m := New()
+	a := NewAccumulator(m)
+	m.Add(EvCycles, 100)
+	a.Sample()
+	a.Reset()
+	if got := a.Totals().Get(User, EvCycles); got != 0 {
+		t.Fatalf("Reset left %d", got)
+	}
+	// Hardware state between Reset and next activity is the new baseline.
+	m.Add(EvCycles, 5)
+	a.Sample()
+	if got := a.Totals().Get(User, EvCycles); got != 5 {
+		t.Fatalf("post-reset totals = %d", got)
+	}
+}
+
+func TestAccumulatorTracksModes(t *testing.T) {
+	m := New()
+	a := NewAccumulator(m)
+	m.Add(EvFXU0Instr, 3)
+	m.SetMode(System)
+	m.Add(EvFXU0Instr, 11)
+	a.Sample()
+	tot := a.Totals()
+	if tot.Get(User, EvFXU0Instr) != 3 || tot.Get(System, EvFXU0Instr) != 11 {
+		t.Fatalf("mode split wrong: %d/%d", tot.Get(User, EvFXU0Instr), tot.Get(System, EvFXU0Instr))
+	}
+}
+
+func TestAddDirect(t *testing.T) {
+	a := NewAccumulator(New())
+	a.AddDirect(User, EvCycles, 1<<40) // far beyond 32 bits in one shot
+	if got := a.Totals().Get(User, EvCycles); got != 1<<40 {
+		t.Fatalf("AddDirect = %d", got)
+	}
+}
+
+func TestAddDirectRespectsDivBug(t *testing.T) {
+	a := NewAccumulator(New())
+	a.AddDirect(User, EvFPU0Div, 100)
+	a.AddDirect(User, EvFPU1Div, 100)
+	if a.Totals().Get(User, EvFPU0Div) != 0 || a.Totals().Get(User, EvFPU1Div) != 0 {
+		t.Fatal("divide counts leaked through the bugged monitor")
+	}
+	// A fixed monitor passes them through.
+	b := NewAccumulator(NewWithoutDivBug())
+	b.AddDirect(User, EvFPU0Div, 100)
+	if b.Totals().Get(User, EvFPU0Div) != 100 {
+		t.Fatal("fixed monitor swallowed divide counts")
+	}
+}
+
+func TestAddDirectPanicsOnInvalidEvent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAccumulator(New()).AddDirect(User, NumEvents, 1)
+}
+
+func TestSub64(t *testing.T) {
+	var a, b Counts64
+	a.Counts[User][EvCycles] = 100
+	b.Counts[User][EvCycles] = 350
+	d := Sub64(a, b)
+	if d.Get(User, EvCycles) != 250 {
+		t.Fatalf("delta = %d", d.Get(User, EvCycles))
+	}
+}
+
+func TestSub64PanicsOnBackwards(t *testing.T) {
+	var a, b Counts64
+	a.Counts[User][EvCycles] = 100
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Sub64(a, b)
+}
+
+func TestCounts64Add(t *testing.T) {
+	var c Counts64
+	var d Delta
+	d.Counts[System][EvFXU1Instr] = 42
+	c.Add(d)
+	c.Add(d)
+	if c.Get(System, EvFXU1Instr) != 84 {
+		t.Fatalf("Add = %d", c.Get(System, EvFXU1Instr))
+	}
+}
+
+func TestAccumulatorConservationProperty(t *testing.T) {
+	// For any increment sequence that respects the sampling contract (no
+	// register advances 2^32 between samples), totals equal the arithmetic
+	// sum regardless of wraps.
+	f := func(incs []uint32, sampleEvery uint8) bool {
+		period := int(sampleEvery%5) + 1
+		m := New()
+		a := NewAccumulator(m)
+		var sum uint64
+		for i, raw := range incs {
+			inc := uint64(raw) % (1 << 29) // period<=5 -> <2^32 between samples
+			m.Add(EvFXU1Instr, inc)
+			sum += inc
+			if i%period == 0 {
+				a.Sample()
+			}
+		}
+		a.Sample()
+		return a.Totals().Get(User, EvFXU1Instr) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

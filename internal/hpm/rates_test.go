@@ -1,0 +1,181 @@
+package hpm
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// paperDelta builds a user-mode delta whose rates over 1 second reproduce
+// Table 3's average column: Mflops-add 9.5 (4.7 of it from fma adds),
+// Mflops-mul 3.2, Mflops-fma 4.7, FPU0 9.4, FPU1 5.4 Mips, FXU0 11.1,
+// FXU1 16.5 Mips, ICU 3.3 Mips, cache 0.30, TLB 0.04, icache 0.014,
+// DMA 0.024/0.017 M/s.
+func paperDelta() Delta {
+	var d Delta
+	set := func(ev Event, millions float64) {
+		d.Counts[User][ev] = uint64(millions * 1e6)
+	}
+	// Split FPU work roughly 1.7:1 between units.
+	set(EvFPU0Add, 6.0)
+	set(EvFPU1Add, 3.5)
+	set(EvFPU0Mul, 2.0)
+	set(EvFPU1Mul, 1.2)
+	set(EvFPU0FMA, 3.0)
+	set(EvFPU1FMA, 1.7)
+	set(EvFPU0Instr, 9.4)
+	set(EvFPU1Instr, 5.4)
+	set(EvFXU0Instr, 11.1)
+	set(EvFXU1Instr, 16.5)
+	set(EvICUType1, 3.0)
+	set(EvICUType2, 0.3)
+	set(EvDCacheMiss, 0.30)
+	set(EvTLBMiss, 0.04)
+	set(EvICacheReload, 0.014)
+	set(EvDMARead, 0.024)
+	set(EvDMAWrite, 0.017)
+	return d
+}
+
+func TestUserRatesReproduceTable3Arithmetic(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	if !approx(r.MflopsAdd, 9.5, 1e-9) {
+		t.Fatalf("MflopsAdd = %v", r.MflopsAdd)
+	}
+	if !approx(r.MflopsMul, 3.2, 1e-9) {
+		t.Fatalf("MflopsMul = %v", r.MflopsMul)
+	}
+	if !approx(r.MflopsFMA, 4.7, 1e-9) {
+		t.Fatalf("MflopsFMA = %v", r.MflopsFMA)
+	}
+	if !approx(r.MflopsAll, 17.4, 1e-9) {
+		t.Fatalf("MflopsAll = %v, want 17.4 (Table 3 avg)", r.MflopsAll)
+	}
+	if !approx(r.MipsFPU, 14.8, 1e-9) {
+		t.Fatalf("MipsFPU = %v, want 14.8", r.MipsFPU)
+	}
+	if !approx(r.MipsFXU, 27.6, 1e-9) {
+		t.Fatalf("MipsFXU = %v, want 27.6", r.MipsFXU)
+	}
+	if !approx(r.MipsICU, 3.3, 1e-9) {
+		t.Fatalf("MipsICU = %v, want 3.3", r.MipsICU)
+	}
+	// Table 2 aggregates: Mips 45.7, Mops 48.3.
+	if !approx(r.Mips, 45.7, 1e-9) {
+		t.Fatalf("Mips = %v, want 45.7", r.Mips)
+	}
+	if !approx(r.Mops, 48.3, 1e-9) {
+		t.Fatalf("Mops = %v, want 48.3", r.Mops)
+	}
+}
+
+func TestFMAFractionMatchesPaper(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	// Paper: fma produces ~54% of the flops (2*4.7/17.4 = 0.54).
+	if got := r.FMAFraction(); !approx(got, 0.54, 0.005) {
+		t.Fatalf("FMAFraction = %v, want ~0.54", got)
+	}
+}
+
+func TestFPUAsymmetryMatchesPaper(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	if got := r.FPUAsymmetry(); !approx(got, 1.74, 0.01) {
+		t.Fatalf("FPUAsymmetry = %v, want ~1.7", got)
+	}
+}
+
+func TestFlopsPerMemRef(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	// Paper: ~0.53 for the workload sample (17.4/27.6 = 0.63; the paper's
+	// 0.53 uses floating-point memory instructions only — we accept the
+	// FXU-based measure here and verify the exact quotient).
+	if got := r.FlopsPerMemRef(); !approx(got, 17.4/27.6, 1e-9) {
+		t.Fatalf("FlopsPerMemRef = %v", got)
+	}
+}
+
+func TestMissRatios(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	// Paper: cache-miss ratio ~1.0%, TLB ~0.1% (lower bounds over FXU sum).
+	if got := r.CacheMissRatio(); !approx(got, 0.30/27.6, 1e-9) {
+		t.Fatalf("CacheMissRatio = %v", got)
+	}
+	if r.CacheMissRatio() < 0.009 || r.CacheMissRatio() > 0.012 {
+		t.Fatalf("CacheMissRatio = %v, want ~0.011", r.CacheMissRatio())
+	}
+	if r.TLBMissRatio() < 0.001 || r.TLBMissRatio() > 0.002 {
+		t.Fatalf("TLBMissRatio = %v, want ~0.0014", r.TLBMissRatio())
+	}
+}
+
+func TestDelayPerMemRef(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	// Paper: ~0.12 cycles per memory reference with 8-cycle cache and
+	// ~45-cycle TLB penalties.
+	got := r.DelayPerMemRef(8, 45)
+	if got < 0.10 || got > 0.18 {
+		t.Fatalf("DelayPerMemRef = %v, want ~0.15", got)
+	}
+}
+
+func TestBranchFraction(t *testing.T) {
+	r := UserRates(paperDelta(), 1.0)
+	if got := r.BranchFraction(); !approx(got, 3.3/45.7, 1e-9) {
+		t.Fatalf("BranchFraction = %v", got)
+	}
+}
+
+func TestSystemRatesSeparateFromUser(t *testing.T) {
+	var d Delta
+	d.Counts[User][EvFXU0Instr] = 1e6
+	d.Counts[System][EvFXU0Instr] = 5e6
+	ur := UserRates(d, 1.0)
+	sr := SystemRates(d, 1.0)
+	if !approx(ur.MipsFXU0, 1.0, 1e-9) || !approx(sr.MipsFXU0, 5.0, 1e-9) {
+		t.Fatalf("user %v / system %v", ur.MipsFXU0, sr.MipsFXU0)
+	}
+}
+
+func TestSystemUserFXURatio(t *testing.T) {
+	var d Delta
+	d.Counts[User][EvFXU0Instr] = 2e6
+	d.Counts[User][EvFXU1Instr] = 2e6
+	d.Counts[System][EvFXU0Instr] = 6e6
+	d.Counts[System][EvFXU1Instr] = 2e6
+	if got := SystemUserFXURatio(d); !approx(got, 2.0, 1e-9) {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	// No user instructions at all.
+	var e Delta
+	if got := SystemUserFXURatio(e); got != 0 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+	e.Counts[System][EvFXU0Instr] = 3
+	if got := SystemUserFXURatio(e); got != 3 {
+		t.Fatalf("system-only ratio = %v", got)
+	}
+}
+
+func TestZeroIntervalRatesAreZero(t *testing.T) {
+	r := UserRates(paperDelta(), 0)
+	if r.MflopsAll != 0 || r.Mips != 0 {
+		t.Fatal("zero-interval rates not zero")
+	}
+	if r.FMAFraction() != 0 || r.FPUAsymmetry() != 0 || r.FlopsPerMemRef() != 0 ||
+		r.CacheMissRatio() != 0 || r.TLBMissRatio() != 0 || r.BranchFraction() != 0 ||
+		r.DelayPerMemRef(8, 45) != 0 {
+		t.Fatal("derived ratios on zero rates not zero")
+	}
+}
+
+func TestDivBuggedMonitorYieldsZeroDivRate(t *testing.T) {
+	m := New()
+	m.Add(EvFPU0Div, 1e6)
+	before := Snapshot{}
+	d := Sub(before, m.Snapshot())
+	r := UserRates(d, 1.0)
+	if r.MflopsDiv != 0 {
+		t.Fatalf("MflopsDiv = %v, want 0 (Table 3's Mflops-div row)", r.MflopsDiv)
+	}
+}

@@ -1,0 +1,236 @@
+package isa
+
+import "fmt"
+
+// Ref describes how one body slot of a Loop generates effective addresses
+// across iterations. The default (zero) Ref leaves the template address
+// untouched, which is what non-memory instructions use.
+type Ref struct {
+	// Base is the first iteration's effective address.
+	Base uint64
+	// Stride is added to the address each iteration.
+	Stride int64
+	// WorkingSet, when non-zero, wraps the offset (iteration*Stride) modulo
+	// this many bytes, modelling a kernel that sweeps a bounded array
+	// repeatedly (e.g. a cache-blocked matrix multiply).
+	WorkingSet uint64
+	// AddrFn, when non-nil, overrides Base/Stride/WorkingSet entirely; it
+	// receives the iteration number. Used for random/gather patterns.
+	AddrFn func(iter uint64) uint64
+}
+
+// addr computes the effective address for the given iteration.
+func (r *Ref) addr(iter uint64) uint64 {
+	if r.AddrFn != nil {
+		return r.AddrFn(iter)
+	}
+	off := int64(iter) * r.Stride
+	if r.WorkingSet != 0 {
+		m := int64(r.WorkingSet)
+		off %= m
+		if off < 0 {
+			off += m
+		}
+	}
+	return uint64(int64(r.Base) + off)
+}
+
+// Loop is an instruction stream that executes a fixed body for a number of
+// iterations. Instruction addresses (PCs) are assigned sequentially within
+// the body so the I-cache model sees a tight floating-point loop: misses on
+// the first trip, hits thereafter — exactly the behaviour behind the
+// paper's 0.4% I-cache miss observation.
+type Loop struct {
+	body  []Instr
+	refs  []Ref
+	iters uint64
+
+	iter uint64
+	pos  int
+}
+
+// InstrBytes is the encoded size of one instruction (4 bytes on POWER).
+const InstrBytes = 4
+
+// NewLoop builds a loop from a body template, per-slot address generators,
+// and an iteration count. refs must either be nil (no memory references) or
+// the same length as body. basePC positions the body in the text segment.
+func NewLoop(body []Instr, refs []Ref, iters uint64, basePC uint64) *Loop {
+	if refs != nil && len(refs) != len(body) {
+		panic(fmt.Sprintf("isa: NewLoop refs length %d != body length %d", len(refs), len(body)))
+	}
+	if len(body) == 0 {
+		panic("isa: NewLoop with empty body")
+	}
+	b := make([]Instr, len(body))
+	copy(b, body)
+	for i := range b {
+		b[i].PC = basePC + uint64(i)*InstrBytes
+	}
+	var r []Ref
+	if refs != nil {
+		r = make([]Ref, len(refs))
+		copy(r, refs)
+	}
+	return &Loop{body: b, refs: r, iters: iters}
+}
+
+// Next implements Stream.
+func (l *Loop) Next(in *Instr) bool {
+	if l.iter >= l.iters {
+		return false
+	}
+	*in = l.body[l.pos]
+	if l.refs != nil && in.Op.IsMemory() {
+		*(&in.Addr) = l.refs[l.pos].addr(l.iter)
+	}
+	l.pos++
+	if l.pos == len(l.body) {
+		l.pos = 0
+		l.iter++
+	}
+	return true
+}
+
+// BodyLen reports the number of instructions in the body.
+func (l *Loop) BodyLen() int { return len(l.body) }
+
+// Iterations reports the configured iteration count.
+func (l *Loop) Iterations() uint64 { return l.iters }
+
+// TotalInstrs reports body length times iterations.
+func (l *Loop) TotalInstrs() uint64 { return uint64(len(l.body)) * l.iters }
+
+// Builder assembles a loop body with a small register allocator, keeping
+// kernel construction readable. Floating registers and fixed registers are
+// drawn from separate POWER2 files (32 FPRs, 32 GPRs).
+type Builder struct {
+	body    []Instr
+	refs    []Ref
+	nextFPR uint8
+	nextGPR uint8
+}
+
+// NewBuilder returns an empty loop-body builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// FPR allocates the next floating-point register, wrapping at 32.
+func (b *Builder) FPR() uint8 {
+	r := b.nextFPR % 32
+	b.nextFPR++
+	return r
+}
+
+// GPR allocates the next general-purpose register, wrapping at 32.
+func (b *Builder) GPR() uint8 {
+	r := b.nextGPR % 32
+	b.nextGPR++
+	return r
+}
+
+// emit appends an instruction with its address generator.
+func (b *Builder) emit(in Instr, ref Ref) {
+	b.body = append(b.body, in)
+	b.refs = append(b.refs, ref)
+}
+
+// Load emits a doubleword load into dst with the given address pattern.
+func (b *Builder) Load(dst uint8, ref Ref) {
+	in := MakeInstr(OpLoad)
+	in.Dst = dst
+	b.emit(in, ref)
+}
+
+// LoadQuad emits a quad load (two doublewords, one instruction) into
+// dst/dst+1 with the given address pattern.
+func (b *Builder) LoadQuad(dst uint8, ref Ref) {
+	in := MakeInstr(OpLoadQuad)
+	in.Dst = dst
+	b.emit(in, ref)
+}
+
+// Store emits a doubleword store of src with the given address pattern.
+func (b *Builder) Store(src uint8, ref Ref) {
+	in := MakeInstr(OpStore)
+	in.SrcA = src
+	b.emit(in, ref)
+}
+
+// StoreQuad emits a quad store of src with the given address pattern.
+func (b *Builder) StoreQuad(src uint8, ref Ref) {
+	in := MakeInstr(OpStoreQuad)
+	in.SrcA = src
+	b.emit(in, ref)
+}
+
+// FAdd emits dst = a + b.
+func (b *Builder) FAdd(dst, a, bb uint8) {
+	in := MakeInstr(OpFAdd)
+	in.Dst, in.SrcA, in.SrcB = dst, a, bb
+	b.emit(in, Ref{})
+}
+
+// FMul emits dst = a * b.
+func (b *Builder) FMul(dst, a, bb uint8) {
+	in := MakeInstr(OpFMul)
+	in.Dst, in.SrcA, in.SrcB = dst, a, bb
+	b.emit(in, Ref{})
+}
+
+// FMA emits dst = a*b + c (dst may equal c for accumulation).
+func (b *Builder) FMA(dst, a, bb, c uint8) {
+	in := MakeInstr(OpFMA)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = dst, a, bb, c
+	b.emit(in, Ref{})
+}
+
+// FMove emits a floating register move/negate/round (an FPU instruction
+// that produces no flops).
+func (b *Builder) FMove(dst, a uint8) {
+	in := MakeInstr(OpFMove)
+	in.Dst, in.SrcA = dst, a
+	b.emit(in, Ref{})
+}
+
+// FDiv emits dst = a / b (10-cycle multicycle operation).
+func (b *Builder) FDiv(dst, a, bb uint8) {
+	in := MakeInstr(OpFDiv)
+	in.Dst, in.SrcA, in.SrcB = dst, a, bb
+	b.emit(in, Ref{})
+}
+
+// FSqrt emits dst = sqrt(a) (15-cycle multicycle operation).
+func (b *Builder) FSqrt(dst, a uint8) {
+	in := MakeInstr(OpFSqrt)
+	in.Dst, in.SrcA = dst, a
+	b.emit(in, Ref{})
+}
+
+// IntALU emits a fixed-point arithmetic/logical instruction.
+func (b *Builder) IntALU(dst, a uint8) {
+	in := MakeInstr(OpIntALU)
+	in.Dst, in.SrcA = dst, a
+	b.emit(in, Ref{})
+}
+
+// IntMulDiv emits an addressing multiply/divide (FXU1 only).
+func (b *Builder) IntMulDiv(dst, a uint8) {
+	in := MakeInstr(OpIntMulDiv)
+	in.Dst, in.SrcA = dst, a
+	b.emit(in, Ref{})
+}
+
+// Branch emits the loop-closing (or any) branch.
+func (b *Builder) Branch() { b.emit(MakeInstr(OpBranch), Ref{}) }
+
+// CondReg emits a condition-register logical instruction.
+func (b *Builder) CondReg() { b.emit(MakeInstr(OpCondReg), Ref{}) }
+
+// Len reports the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.body) }
+
+// Build produces the Loop. The builder can keep being used afterwards; the
+// loop owns copies.
+func (b *Builder) Build(iters uint64, basePC uint64) *Loop {
+	return NewLoop(b.body, b.refs, iters, basePC)
+}

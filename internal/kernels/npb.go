@@ -1,0 +1,249 @@
+package kernels
+
+// This file extends the kernel library with the rest of the NAS Parallel
+// Benchmark class the paper's reference chain leans on (Saphir, Woo and
+// Yarrow, "The NAS Parallel Benchmarks 2.1 Results", NAS-96-010): SP, LU,
+// MG, FT and CG analogues. Each is built to the benchmark's documented
+// performance character on POWER2-class machines rather than to its exact
+// arithmetic:
+//
+//   SP — scalar pentadiagonal solver: BT's structure with narrower bands
+//        and less exploitable ILP; sits between the workload average and BT.
+//   LU — SSOR wavefront: deep serial recurrences, the slowest of the
+//        "solver" trio per CPU.
+//   MG — multigrid V-cycles: streaming sweeps at multiple strides, memory
+//        bandwidth bound, high cache-miss ratio per memory reference.
+//   FT — 3-D FFT: long power-of-two strides from the transpose phases,
+//        the TLB-hostile access pattern the paper warns about ("we might
+//        expect high TLB miss rates from programs accessing data with
+//        large memory strides").
+//   CG — conjugate gradient: indirect gather through an index vector,
+//        nearly every gather a cache miss; the classic low-Mflops NPB.
+
+import (
+	"repro/internal/isa"
+	"repro/internal/units"
+)
+
+// SP is the scalar pentadiagonal solver analogue.
+func SP() Kernel {
+	return Kernel{
+		Name:             "sp",
+		Description:      "NPB SP-like scalar pentadiagonal solver",
+		WorkingSetBytes:  24 << 20,
+		CommBytesPerFlop: 0.05,
+		New: func(seed uint64) isa.Stream {
+			var mem arena
+			u := mem.alloc(8 << 20)
+			rhs := mem.alloc(8 << 20)
+			lhs := mem.alloc(64 << 10)
+
+			b := isa.NewBuilder()
+			idx := b.GPR()
+			b.IntALU(idx, idx)
+
+			v0, v1, v2 := b.FPR(), b.FPR(), b.FPR()
+			c0, c1 := b.FPR(), b.FPR()
+			b.LoadQuad(v0, isa.Ref{Base: u, Stride: 16, WorkingSet: 512 << 10})
+			b.LoadQuad(v1, isa.Ref{Base: rhs, Stride: 16})
+			b.Load(v2, isa.Ref{Base: u, Stride: 8, WorkingSet: 512 << 10})
+			b.Load(c0, isa.Ref{Base: lhs, Stride: 8, WorkingSet: 32 << 10})
+			b.Load(c1, isa.Ref{Base: lhs, Stride: 8, WorkingSet: 32 << 10})
+
+			// One main recurrence plus a short independent strand: less
+			// ILP than BT's two full chains.
+			a0 := b.FPR()
+			b.FMA(a0, v0, c0, a0)
+			b.FMA(a0, v1, c1, a0)
+			b.FAdd(a0, a0, v2)
+			b.FMul(a0, a0, c0)
+			b.FMA(a0, v2, c1, a0)
+			b.FAdd(a0, a0, v1)
+			a1 := b.FPR()
+			b.FMA(a1, v1, c0, a1)
+			b.FAdd(a1, a1, v0)
+
+			b.Store(a0, isa.Ref{Base: rhs, Stride: 8, WorkingSet: 512 << 10})
+			b.Store(a1, isa.Ref{Base: u, Stride: 8, WorkingSet: 512 << 10})
+			b.IntALU(idx, idx)
+			b.Branch()
+			return b.Build(unbounded, 0xA0000)
+		},
+	}
+}
+
+// LU is the SSOR wavefront solver analogue.
+func LU() Kernel {
+	return Kernel{
+		Name:             "lu",
+		Description:      "NPB LU-like SSOR wavefront solver",
+		WorkingSetBytes:  24 << 20,
+		CommBytesPerFlop: 0.06,
+		New: func(seed uint64) isa.Stream {
+			var mem arena
+			u := mem.alloc(8 << 20)
+			rsd := mem.alloc(8 << 20)
+			jac := mem.alloc(64 << 10)
+
+			b := isa.NewBuilder()
+			idx := b.GPR()
+			b.IntMulDiv(idx, idx)
+
+			v0, v1 := b.FPR(), b.FPR()
+			c0, c1 := b.FPR(), b.FPR()
+			b.LoadQuad(v0, isa.Ref{Base: u, Stride: 16})
+			b.Load(v1, isa.Ref{Base: rsd, Stride: 8})
+			b.Load(c0, isa.Ref{Base: jac, Stride: 8, WorkingSet: 32 << 10})
+			b.Load(c1, isa.Ref{Base: jac, Stride: 8, WorkingSet: 32 << 10})
+
+			// The wavefront: one long, fully serial recurrence — each point
+			// of the lower/upper triangular sweep depends on its neighbour.
+			a := b.FPR()
+			b.FMA(a, v0, c0, a)
+			b.FAdd(a, a, v1)
+			b.FMul(a, a, c0)
+			b.FMA(a, v1, c1, a)
+			b.FAdd(a, a, v0)
+			b.FMul(a, a, c1)
+			b.FMA(a, v0, c1, a)
+			b.FAdd(a, a, v1)
+			b.FMove(a, a)
+
+			b.Store(a, isa.Ref{Base: rsd, Stride: 8, WorkingSet: 512 << 10})
+			b.IntALU(idx, idx)
+			b.Branch()
+			return b.Build(unbounded, 0xB0000)
+		},
+	}
+}
+
+// MG is the multigrid analogue.
+func MG() Kernel {
+	return Kernel{
+		Name:             "mg",
+		Description:      "NPB MG-like multigrid V-cycle (bandwidth bound)",
+		WorkingSetBytes:  32 << 20,
+		CommBytesPerFlop: 0.05,
+		New: func(seed uint64) isa.Stream {
+			var mem arena
+			fine := mem.alloc(16 << 20)
+			coarse := mem.alloc(8 << 20)
+			resid := mem.alloc(16 << 20)
+
+			b := isa.NewBuilder()
+			// Streaming stencil at the fine level plus a strided restriction
+			// to the coarse level: four memory streams per point, little
+			// register reuse, modest arithmetic — bandwidth bound.
+			v0, v1, v2, v3 := b.FPR(), b.FPR(), b.FPR(), b.FPR()
+			b.LoadQuad(v0, isa.Ref{Base: fine, Stride: 16})
+			b.Load(v1, isa.Ref{Base: fine, Stride: 8})
+			b.Load(v2, isa.Ref{Base: resid, Stride: 8})
+			b.Load(v3, isa.Ref{Base: coarse, Stride: 16}) // every other point
+
+			a0, a1 := b.FPR(), b.FPR()
+			b.FMA(a0, v0, v1, a0)
+			b.FAdd(a0, a0, v2)
+			b.FMA(a1, v2, v3, a1)
+			b.FAdd(a1, a1, v0)
+
+			b.Store(a0, isa.Ref{Base: resid, Stride: 8})
+			b.Store(a1, isa.Ref{Base: coarse, Stride: 16})
+			b.IntALU(0, 0)
+			b.Branch()
+			return b.Build(unbounded, 0xC0000)
+		},
+	}
+}
+
+// FT is the 3-D FFT analogue.
+func FT() Kernel {
+	return Kernel{
+		Name:             "ft",
+		Description:      "NPB FT-like 3-D FFT (transpose strides, TLB hostile)",
+		WorkingSetBytes:  32 << 20,
+		CommBytesPerFlop: 0.10, // all-to-all transposes
+		New: func(seed uint64) isa.Stream {
+			var mem arena
+			data := mem.alloc(16 << 20)
+			work := mem.alloc(16 << 20)
+			twid := mem.alloc(32 << 10)
+
+			b := isa.NewBuilder()
+			// Three unit-stride butterfly groups per transpose touch: the
+			// FFT passes are cache-friendly; only the transpose walks
+			// column-wise.
+			for g := 0; g < 3; g++ {
+				re0, im0 := b.FPR(), b.FPR()
+				w0, w1 := b.FPR(), b.FPR()
+				off := int64(g) * 16
+				b.LoadQuad(re0, isa.Ref{Base: uint64(int64(data) + off), Stride: 48})
+				b.Load(im0, isa.Ref{Base: uint64(int64(data)+off) + 8, Stride: 48})
+				b.Load(w0, isa.Ref{Base: twid, Stride: 8, WorkingSet: 16 << 10})
+				b.Load(w1, isa.Ref{Base: twid, Stride: 8, WorkingSet: 16 << 10})
+				a0, a1 := b.FPR(), b.FPR()
+				b.FMul(a0, re0, w0)
+				b.FAdd(a0, a0, im0)
+				b.FMul(a1, im0, w1)
+				b.FAdd(a1, a1, re0)
+				b.FAdd(a0, a0, a1)
+				b.FMul(a1, a1, w0)
+				b.StoreQuad(a0, isa.Ref{Base: uint64(int64(work) + off), Stride: 48})
+			}
+			// The transpose touch: one column element per body, walking a
+			// plane whose pages, together with the streaming passes,
+			// overcommit the 512-entry TLB — elevated but not pathological
+			// miss rates, as the paper expects of large-stride codes.
+			tr := b.FPR()
+			b.Load(tr, isa.Ref{Base: data + (12 << 20), Stride: units.PageBytes, WorkingSet: 768 << 10})
+			b.Store(tr, isa.Ref{Base: work + (12 << 20), Stride: units.PageBytes, WorkingSet: 768 << 10})
+			b.IntALU(0, 0)
+			b.Branch()
+			return b.Build(unbounded, 0xD0000)
+		},
+	}
+}
+
+// CG is the conjugate-gradient analogue.
+func CG() Kernel {
+	return Kernel{
+		Name:             "cg",
+		Description:      "NPB CG-like sparse matrix-vector (indirect gathers)",
+		WorkingSetBytes:  24 << 20,
+		CommBytesPerFlop: 0.08,
+		New: func(seed uint64) isa.Stream {
+			var mem arena
+			vals := mem.alloc(8 << 20)
+			x := mem.alloc(8 << 20)
+			y := mem.alloc(4 << 20)
+
+			// The gather x[col[j]]: pseudo-random 8-byte-aligned probes
+			// over the vector — effectively every probe a new cache line
+			// and frequently a new page.
+			const gatherWS = 1 << 20 // ~600 KB x vector: TLB-resident, cache-busting
+			h := seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+			gather := func(iter uint64) uint64 {
+				z := (iter + h) * 0x9e3779b97f4a7c15
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z ^= z >> 27
+				return x + (z%gatherWS)&^7
+			}
+
+			b := isa.NewBuilder()
+			idx := b.GPR()
+			b.IntALU(idx, idx) // col[j] index load bookkeeping
+
+			a, v, xv := b.FPR(), b.FPR(), b.FPR()
+			b.Load(v, isa.Ref{Base: vals, Stride: 8}) // matrix values: streaming
+			b.Load(xv, isa.Ref{AddrFn: gather})       // x[col[j]]: random gather
+			b.FMA(a, v, xv, a)                        // y_i += a_ij * x_j
+
+			// Row change every few elements.
+			b.IntALU(idx, idx)
+			b.Store(a, isa.Ref{Base: y, Stride: 8, WorkingSet: 2 << 20})
+			b.Branch()
+			return b.Build(unbounded, 0xE0000)
+		},
+	}
+}
+
+var _ = units.PageBytes // strides above are chosen relative to the 4 KB page

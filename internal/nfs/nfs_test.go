@@ -1,0 +1,153 @@
+package nfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/hps"
+	"repro/internal/node"
+)
+
+func mountWithNodes(t *testing.T, n int, cfg Config) (*Mount, []*node.Node, *hps.Network) {
+	t.Helper()
+	net := hps.New(hps.SP2())
+	nodes := make([]*node.Node, n)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{ID: i})
+		net.Attach(nodes[i])
+	}
+	return New(net, cfg), nodes, net
+}
+
+func TestSP2Layout(t *testing.T) {
+	m, _, net := mountWithNodes(t, 1, SP2Config())
+	if len(m.Servers()) != 3 {
+		t.Fatalf("volumes = %d, want 3", len(m.Servers()))
+	}
+	for _, s := range m.Servers() {
+		if s.Capacity() != 8<<30 {
+			t.Fatalf("capacity = %d, want 8 GB", s.Capacity())
+		}
+	}
+	if net.Attached() != 4 { // 1 node + 3 volumes
+		t.Fatalf("attached = %d", net.Attached())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, nodes, _ := mountWithNodes(t, 2, Config{Volumes: 3, VolumeBytes: 1 << 20})
+	sec, err := m.Write(0, "/u/alice/results.dat", 64_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatal("no transfer time")
+	}
+	size, _, err := m.Read(1, "/u/alice/results.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 64_000 {
+		t.Fatalf("read size = %d", size)
+	}
+	// The writer's node shows outbound DMA (dma_read), the reader inbound.
+	w := nodes[0].Counters()
+	if w.Get(hpm.User, hpm.EvDMARead) != 1000 {
+		t.Fatalf("writer dma_read = %d, want 1000 transfers", w.Get(hpm.User, hpm.EvDMARead))
+	}
+	r := nodes[1].Counters()
+	if r.Get(hpm.User, hpm.EvDMAWrite) != 1000 {
+		t.Fatalf("reader dma_write = %d", r.Get(hpm.User, hpm.EvDMAWrite))
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 1, VolumeBytes: 1000})
+	if _, err := m.Write(0, "/a", 900); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(0, "/b", 200); err == nil {
+		t.Fatal("overflow write accepted")
+	}
+	// Overwriting shrinks before checking.
+	if _, err := m.Write(0, "/a", 1000); err != nil {
+		t.Fatalf("overwrite within quota rejected: %v", err)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 1, VolumeBytes: 1 << 20})
+	m.Write(0, "/f", 100)
+	m.Write(0, "/f", 300)
+	if size, ok := m.Stat("/f"); !ok || size != 300 {
+		t.Fatalf("Stat = %d,%v", size, ok)
+	}
+	if m.TotalUsed() != 300 {
+		t.Fatalf("TotalUsed = %d", m.TotalUsed())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 2, VolumeBytes: 1 << 20})
+	m.Write(0, "/f", 100)
+	if err := m.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Stat("/f"); ok {
+		t.Fatal("file survived Remove")
+	}
+	if err := m.Remove("/f"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if m.TotalUsed() != 0 {
+		t.Fatalf("TotalUsed = %d", m.TotalUsed())
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 1, VolumeBytes: 1 << 20})
+	if _, _, err := m.Read(0, "/nope"); err == nil {
+		t.Fatal("missing read accepted")
+	}
+}
+
+func TestPlacementSpreadsAcrossVolumes(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 3, VolumeBytes: 1 << 30})
+	for u := 0; u < 60; u++ {
+		if _, err := m.Write(0, fmt.Sprintf("/u/user%02d/out.dat", u), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range m.Servers() {
+		if s.Files() == 0 {
+			t.Fatalf("volume %d received no files", i)
+		}
+	}
+	if got := len(m.List()); got != 60 {
+		t.Fatalf("List = %d files", got)
+	}
+}
+
+func TestPlacementStable(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 3, VolumeBytes: 1 << 30})
+	a := m.volumeFor("/u/alice/x")
+	for i := 0; i < 10; i++ {
+		if m.volumeFor("/u/alice/x") != a {
+			t.Fatal("placement unstable")
+		}
+	}
+}
+
+func TestServerTrafficTallies(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 1, Config{Volumes: 1, VolumeBytes: 1 << 20})
+	m.Write(0, "/f", 6400)
+	m.Read(0, "/f")
+	s := m.Servers()[0]
+	s.mu.Lock()
+	in, out := s.bytesIn, s.bytesOut
+	s.mu.Unlock()
+	if in != 6400 || out != 6400 {
+		t.Fatalf("server traffic = %d/%d", in, out)
+	}
+}

@@ -1,0 +1,417 @@
+package pbs
+
+import (
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/node"
+	"repro/internal/simclock"
+)
+
+func cluster(n int) []*node.Node {
+	nodes := make([]*node.Node, n)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{ID: i})
+	}
+	return nodes
+}
+
+func newServer(t *testing.T, n int, cfg Config) (*simclock.Clock, *Server) {
+	t.Helper()
+	clock := &simclock.Clock{}
+	return clock, New(clock, cluster(n), cfg)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, s := newServer(t, 4, Config{})
+	if _, err := s.Submit(Spec{Nodes: 0, WallSeconds: 10}); err == nil {
+		t.Fatal("zero-node job accepted")
+	}
+	if _, err := s.Submit(Spec{Nodes: 5, WallSeconds: 10}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if _, err := s.Submit(Spec{Nodes: 1, WallSeconds: 0}); err == nil {
+		t.Fatal("zero-wall job accepted")
+	}
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	clock, s := newServer(t, 4, Config{})
+	var started, ended *Job
+	s.OnStart = func(j *Job) { started = j }
+	s.OnEnd = func(j *Job) { ended = j }
+
+	id, err := s.Submit(Spec{User: "alice", Nodes: 2, WallSeconds: 700, Class: "cfd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started == nil || started.ID != id {
+		t.Fatal("OnStart not fired at submit-time scheduling")
+	}
+	if s.RunningCount() != 1 || s.FreeNodes() != 2 || s.BusyNodes() != 2 {
+		t.Fatalf("state after start: running=%d free=%d", s.RunningCount(), s.FreeNodes())
+	}
+	clock.Run()
+	if ended == nil || ended.ID != id {
+		t.Fatal("OnEnd not fired")
+	}
+	if s.RunningCount() != 0 || s.FreeNodes() != 4 {
+		t.Fatal("nodes not freed")
+	}
+	recs := s.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.User != "alice" || r.NodesUsed != 2 || r.WallSeconds != 700 || r.Class != "cfd" {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.StartAt != 0 || r.EndAt != simclock.Time(700) {
+		t.Fatalf("times = %v..%v", r.StartAt, r.EndAt)
+	}
+}
+
+func TestFIFOWhenSaturated(t *testing.T) {
+	clock, s := newServer(t, 2, Config{})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	a, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 100})
+	b, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 100})
+	c, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 100})
+	clock.Run()
+	if len(order) != 3 || order[0] != a || order[1] != b || order[2] != c {
+		t.Fatalf("start order = %v", order)
+	}
+}
+
+func TestBackfillPastBlockedSmallJob(t *testing.T) {
+	clock, s := newServer(t, 4, Config{})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	s.Submit(Spec{Nodes: 3, WallSeconds: 1000})          // takes 3, leaves 1
+	bID, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 100}) // does not fit
+	cID, _ := s.Submit(Spec{Nodes: 1, WallSeconds: 100}) // fits: backfill
+	if len(order) != 2 || order[1] != cID {
+		t.Fatalf("backfill order = %v (b=%d c=%d)", order, bID, cID)
+	}
+	clock.Run()
+}
+
+func TestDrainForLargeJobs(t *testing.T) {
+	clock, s := newServer(t, 100, Config{DrainThreshold: 64})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	s.Submit(Spec{Nodes: 60, WallSeconds: 500})           // running
+	big, _ := s.Submit(Spec{Nodes: 80, WallSeconds: 100}) // >64: needs drain
+	small, _ := s.Submit(Spec{Nodes: 10, WallSeconds: 50})
+	// The small job fits in the 40 free nodes but must NOT start: the
+	// queue is draining for the 80-node job.
+	if len(order) != 1 {
+		t.Fatalf("drain violated: order = %v", order)
+	}
+	clock.Run()
+	// After the 60-node job ends the big job starts, then the small one.
+	if len(order) != 3 || order[1] != big || order[2] != small {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSmallJobsBackfillFreely(t *testing.T) {
+	clock, s := newServer(t, 10, Config{DrainThreshold: 64})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	s.Submit(Spec{Nodes: 8, WallSeconds: 500})
+	s.Submit(Spec{Nodes: 4, WallSeconds: 100})         // small, does not fit
+	c, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 100}) // fits: backfill allowed
+	if len(order) != 2 || order[1] != c {
+		t.Fatalf("order = %v", order)
+	}
+	clock.Run()
+}
+
+func TestPrologueEpilogueCaptureDeltas(t *testing.T) {
+	clock, s := newServer(t, 2, Config{})
+	// Pre-existing counter activity must not leak into the job's record.
+	s.nodes[0].WithAccumulator(func(a *hpm.Accumulator) {
+		a.AddDirect(hpm.User, hpm.EvCycles, 999999)
+	})
+	s.OnEnd = func(j *Job) {
+		// The campaign applies the job's counters before the epilogue.
+		for _, nd := range j.Nodes() {
+			nd.WithAccumulator(func(a *hpm.Accumulator) {
+				a.AddDirect(hpm.User, hpm.EvFPU0Add, 5000)
+				a.AddDirect(hpm.User, hpm.EvCycles, 70000)
+			})
+		}
+	}
+	s.Submit(Spec{Nodes: 2, WallSeconds: 700})
+	clock.Run()
+	recs := s.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, d := range recs[0].PerNode {
+		if got := d.Get(hpm.User, hpm.EvFPU0Add); got != 5000 {
+			t.Fatalf("node %d delta adds = %d", i, got)
+		}
+		if got := d.Get(hpm.User, hpm.EvCycles); got != 70000 {
+			t.Fatalf("node %d delta cycles = %d (baseline leaked?)", i, got)
+		}
+	}
+	// Derived record quantities.
+	total := recs[0].TotalDelta()
+	if total.Get(hpm.User, hpm.EvFPU0Add) != 10000 {
+		t.Fatal("TotalDelta wrong")
+	}
+	rates := recs[0].PerNodeRates()
+	wantMflops := 5000.0 / 700 / 1e6
+	if diff := rates.MflopsAll - wantMflops; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("per-node Mflops = %v, want %v", rates.MflopsAll, wantMflops)
+	}
+	if recs[0].JobMflops() < rates.MflopsAll {
+		t.Fatal("JobMflops must scale by node count")
+	}
+}
+
+func TestMinRecordWallFilters(t *testing.T) {
+	clock, s := newServer(t, 2, Config{MinRecordWall: 600})
+	s.Submit(Spec{Nodes: 1, WallSeconds: 100}) // interactive-ish: dropped
+	s.Submit(Spec{Nodes: 1, WallSeconds: 900}) // kept
+	clock.Run()
+	if len(s.Records()) != 1 {
+		t.Fatalf("records = %d", len(s.Records()))
+	}
+	if s.DroppedRecords() != 1 {
+		t.Fatalf("dropped = %d", s.DroppedRecords())
+	}
+	if s.Records()[0].WallSeconds != 900 {
+		t.Fatal("wrong record kept")
+	}
+}
+
+func TestBusyNodeSeconds(t *testing.T) {
+	clock, s := newServer(t, 4, Config{})
+	s.Submit(Spec{Nodes: 2, WallSeconds: 100})
+	clock.RunUntil(simclock.Time(50))
+	clock.AdvanceTo(simclock.Time(50))
+	got := s.BusyNodeSeconds()
+	if got != 100 { // 2 nodes x 50 s elapsed
+		t.Fatalf("mid-job busy node-seconds = %v, want 100", got)
+	}
+	clock.Run()
+	if got := s.BusyNodeSeconds(); got != 200 {
+		t.Fatalf("final busy node-seconds = %v, want 200", got)
+	}
+}
+
+func TestUtilizationArithmetic(t *testing.T) {
+	clock, s := newServer(t, 4, Config{})
+	s.Submit(Spec{Nodes: 4, WallSeconds: 64})
+	clock.Run()
+	clock.AdvanceTo(simclock.Time(100))
+	util := s.BusyNodeSeconds() / (float64(s.NodeCount()) * 100)
+	if util != 0.64 {
+		t.Fatalf("utilization = %v, want 0.64", util)
+	}
+}
+
+func TestSequentialJobsReuseNodesDeterministically(t *testing.T) {
+	clock, s := newServer(t, 3, Config{})
+	var allocs [][]int
+	s.OnStart = func(j *Job) {
+		var ids []int
+		for _, nd := range j.Nodes() {
+			ids = append(ids, nd.ID())
+		}
+		allocs = append(allocs, ids)
+	}
+	for i := 0; i < 3; i++ {
+		s.Submit(Spec{Nodes: 2, WallSeconds: 10})
+	}
+	clock.Run()
+	for _, a := range allocs {
+		if len(a) != 2 || a[0] != 0 || a[1] != 1 {
+			t.Fatalf("allocations not deterministic: %v", allocs)
+		}
+	}
+}
+
+func TestRecordsCopyIsolated(t *testing.T) {
+	clock, s := newServer(t, 1, Config{})
+	s.Submit(Spec{Nodes: 1, WallSeconds: 10})
+	clock.Run()
+	r := s.Records()
+	r[0].User = "mallory"
+	if s.Records()[0].User == "mallory" {
+		t.Fatal("Records exposes internal slice")
+	}
+}
+
+func TestEmptyRecordRates(t *testing.T) {
+	var r Record
+	if r.PerNodeRates().MflopsAll != 0 || r.JobMflops() != 0 {
+		t.Fatal("empty record rates not zero")
+	}
+}
+
+func TestNewPanicsWithoutNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(&simclock.Clock{}, nil, Config{})
+}
+
+func TestCheckpointingFreesNodesForLargeJob(t *testing.T) {
+	clock, s := newServer(t, 100, Config{DrainThreshold: 64, Checkpointing: true, CheckpointSeconds: 60})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	small, _ := s.Submit(Spec{Nodes: 60, WallSeconds: 5000, MemoryPerNodeBytes: 1 << 20})
+	big, _ := s.Submit(Spec{Nodes: 80, WallSeconds: 100})
+	// The big job preempts the small one immediately instead of draining.
+	if len(order) < 2 || order[1] != big {
+		t.Fatalf("big job did not start via preemption: order=%v", order)
+	}
+	if s.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", s.Preemptions())
+	}
+	clock.Run()
+	// Both jobs complete; the small one restarted after the big one.
+	recs := s.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.JobID == small {
+			if r.Preemptions != 1 {
+				t.Fatalf("small job preemptions = %d", r.Preemptions)
+			}
+			// Total span: ran twice with checkpoint overhead.
+			span := (r.EndAt - r.StartAt).Seconds()
+			if span <= 5000+60 {
+				t.Fatalf("preempted job span = %v, want > wall+overhead", span)
+			}
+		}
+		if r.JobID == big && r.Preemptions != 0 {
+			t.Fatal("big job should not be preempted")
+		}
+	}
+}
+
+func TestCheckpointWritesAndRestoresImages(t *testing.T) {
+	clock, s := newServer(t, 4, Config{DrainThreshold: 2, Checkpointing: true})
+	s.Submit(Spec{Nodes: 2, WallSeconds: 1000, MemoryPerNodeBytes: 64 << 20})
+	victimNodes := make([]*node.Node, 2)
+	copy(victimNodes, s.running[1].Nodes())
+	s.Submit(Spec{Nodes: 4, WallSeconds: 100}) // preempts the 2-node job
+	// The victim's nodes wrote their 64 MB images to disk.
+	for _, nd := range victimNodes {
+		_, w := nd.Disk().Traffic()
+		if w != 64<<20 {
+			t.Fatalf("checkpoint image write = %d bytes", w)
+		}
+	}
+	clock.Run()
+	// After restore, the image was read back on the restart nodes.
+	var restored bool
+	for i := 0; i < 4; i++ {
+		r, _ := s.nodes[i].Disk().Traffic()
+		if r == 64<<20 {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatal("no node read a restore image")
+	}
+	if len(s.Records()) != 2 {
+		t.Fatalf("records = %d", len(s.Records()))
+	}
+}
+
+func TestCheckpointSegmentsPreserveCounters(t *testing.T) {
+	clock, s := newServer(t, 4, Config{DrainThreshold: 2, Checkpointing: true, MinRecordWall: 0})
+	// The campaign-style hooks apply counters during each segment.
+	s.OnPreempt = func(j *Job) {
+		for _, nd := range j.Nodes() {
+			nd.WithAccumulator(func(a *hpm.Accumulator) {
+				a.AddDirect(hpm.User, hpm.EvFPU0Add, 1000)
+			})
+		}
+	}
+	s.OnEnd = func(j *Job) {
+		for _, nd := range j.Nodes() {
+			nd.WithAccumulator(func(a *hpm.Accumulator) {
+				a.AddDirect(hpm.User, hpm.EvFPU0Add, 500)
+			})
+		}
+	}
+	victim, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 1000, MemoryPerNodeBytes: 1 << 20})
+	s.Submit(Spec{Nodes: 4, WallSeconds: 100})
+	clock.Run()
+	for _, r := range s.Records() {
+		total := r.TotalDelta().Get(hpm.User, hpm.EvFPU0Add)
+		switch r.JobID {
+		case victim:
+			// Two nodes x (1000 at checkpoint + 500 at end) = 3000.
+			if total != 3000 {
+				t.Fatalf("victim counters = %d, want 3000 (segments lost?)", total)
+			}
+		default:
+			if total != 4*500 {
+				t.Fatalf("big job counters = %d", total)
+			}
+		}
+	}
+}
+
+func TestLargeJobsAreNeverVictims(t *testing.T) {
+	// Two above-threshold jobs must not checkpoint each other (the
+	// ping-pong hazard); the second drains behind the first instead.
+	clock, s := newServer(t, 4, Config{DrainThreshold: 1, Checkpointing: true})
+	var order []int
+	s.OnStart = func(j *Job) { order = append(order, j.ID) }
+	a, _ := s.Submit(Spec{Nodes: 2, WallSeconds: 50}) // above threshold 1
+	b, _ := s.Submit(Spec{Nodes: 4, WallSeconds: 10}) // also above threshold
+	if s.Preemptions() != 0 {
+		t.Fatalf("preemptions = %d, want 0 (large jobs are not victims)", s.Preemptions())
+	}
+	clock.Run()
+	if len(s.Records()) != 2 {
+		t.Fatal("jobs lost")
+	}
+	if len(order) != 2 || order[0] != a || order[1] != b {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPreemptionFailsWhenVictimsInsufficient(t *testing.T) {
+	// A small job holds 1 node, a large job already holds 2 (not a
+	// victim); a 4-node job cannot be satisfied by preemption and drains.
+	clock, s := newServer(t, 4, Config{DrainThreshold: 2, Checkpointing: true})
+	s.Submit(Spec{Nodes: 3, WallSeconds: 30}) // above threshold: protected
+	s.Submit(Spec{Nodes: 1, WallSeconds: 500, MemoryPerNodeBytes: 1 << 20})
+	s.Submit(Spec{Nodes: 4, WallSeconds: 10})
+	// Preempting the 1-node job alone cannot free 4 nodes.
+	if s.Preemptions() != 0 {
+		t.Fatalf("futile preemption happened: %d", s.Preemptions())
+	}
+	clock.Run()
+	if len(s.Records()) != 3 {
+		t.Fatalf("records = %d", len(s.Records()))
+	}
+}
+
+func TestBusyAccountingWithCheckpoint(t *testing.T) {
+	clock, s := newServer(t, 4, Config{DrainThreshold: 2, Checkpointing: true, CheckpointSeconds: 40})
+	s.Submit(Spec{Nodes: 2, WallSeconds: 300, MemoryPerNodeBytes: 1 << 20})
+	clock.AdvanceTo(simclock.Time(100))
+	s.Submit(Spec{Nodes: 4, WallSeconds: 100}) // preempts at t=100
+	clock.Run()
+	// Busy node-seconds: victim segment 2x100, big job 4x100, victim
+	// remainder 2x(200+40).
+	want := 200.0 + 400 + 2*240
+	if got := s.BusyNodeSeconds(); got != want {
+		t.Fatalf("busy node-seconds = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,188 @@
+// Package profile bridges the instruction-level CPU model and the
+// nine-month campaign simulation. A Profile is the measured per-second
+// counter signature of a kernel: every one of the 22 monitor events, in
+// user and system mode, normalised by simulated wall time.
+//
+// Kernels are micro-simulated in full (every instruction through the
+// dispatch, cache, TLB and paging models); the campaign then advances node
+// counters at the measured rates over job lifetimes. This is the standard
+// way to scale a microarchitecture simulator to months of machine time
+// while keeping every rate self-consistent with the detailed model.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/hpm"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/power2"
+	"repro/internal/rng"
+)
+
+// Profile is a kernel's counter signature in events per second of node
+// wall time, plus convenience aggregates.
+type Profile struct {
+	Name string
+	// EventsPerSec holds per-mode, per-event rates.
+	EventsPerSec [2][hpm.NumEvents]float64
+	// Mflops is the counter-derived user-mode floating rate, for quick
+	// reference and workload calibration.
+	Mflops float64
+	// TrueDivPerSec preserves the divide rate the broken hardware counter
+	// missed.
+	TrueDivPerSec float64
+}
+
+// Measure runs n instructions of the stream on a fresh CPU with the given
+// configuration and returns the resulting rate signature.
+func Measure(name string, stream isa.Stream, cfg power2.Config, n uint64) Profile {
+	cpu := power2.New(cfg)
+	cpu.RunLimited(stream, n)
+	elapsed := cpu.Elapsed()
+	if elapsed <= 0 {
+		panic(fmt.Sprintf("profile: kernel %q produced no cycles", name))
+	}
+	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
+	var p Profile
+	p.Name = name
+	for m := hpm.Mode(0); m < 2; m++ {
+		for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
+			p.EventsPerSec[m][ev] = float64(d.Get(m, ev)) / elapsed
+		}
+	}
+	p.Mflops = hpm.UserRates(d, elapsed).MflopsAll
+	p.TrueDivPerSec = float64(cpu.Monitor().TrueDivides(hpm.User)) / elapsed
+	return p
+}
+
+// MeasureKernel measures a kernel from the registry under the given CPU
+// configuration.
+func MeasureKernel(k kernels.Kernel, cfg power2.Config, n uint64) Profile {
+	return Measure(k.Name, k.New(cfg.Seed), cfg, n)
+}
+
+// Scale returns a copy of the profile with every rate multiplied by f —
+// how per-job performance variability (compiler flags, problem sizes,
+// tuning) is injected without re-simulating.
+func (p Profile) Scale(f float64) Profile {
+	out := p
+	for m := 0; m < 2; m++ {
+		for ev := range out.EventsPerSec[m] {
+			out.EventsPerSec[m][ev] *= f
+		}
+	}
+	out.Mflops *= f
+	out.TrueDivPerSec *= f
+	return out
+}
+
+// Blend returns a profile that is fracA of a plus (1-fracA) of b — the
+// compute/communication duty-cycle composition of a job phase mix.
+func Blend(a Profile, fracA float64, b Profile) Profile {
+	if fracA < 0 || fracA > 1 {
+		panic(fmt.Sprintf("profile: blend fraction %v out of [0,1]", fracA))
+	}
+	var out Profile
+	out.Name = a.Name + "+" + b.Name
+	for m := 0; m < 2; m++ {
+		for ev := range out.EventsPerSec[m] {
+			out.EventsPerSec[m][ev] = fracA*a.EventsPerSec[m][ev] + (1-fracA)*b.EventsPerSec[m][ev]
+		}
+	}
+	out.Mflops = fracA*a.Mflops + (1-fracA)*b.Mflops
+	out.TrueDivPerSec = fracA*a.TrueDivPerSec + (1-fracA)*b.TrueDivPerSec
+	return out
+}
+
+// Plus returns the event-wise sum of two profiles — used to overlay a
+// partially-active phase (e.g. comm-time memcpy at less than full duty)
+// on a compute baseline.
+func (p Profile) Plus(q Profile) Profile {
+	out := p
+	out.Name = p.Name + "+" + q.Name
+	for m := 0; m < 2; m++ {
+		for ev := range out.EventsPerSec[m] {
+			out.EventsPerSec[m][ev] += q.EventsPerSec[m][ev]
+		}
+	}
+	out.Mflops += q.Mflops
+	out.TrueDivPerSec += q.TrueDivPerSec
+	return out
+}
+
+// WithDMA returns a copy with the user-mode DMA read/write rates replaced
+// (transfers per second). The campaign sets these from a job's message and
+// disk traffic rather than the microsim (whose streams do no real I/O).
+func (p Profile) WithDMA(readsPerSec, writesPerSec float64) Profile {
+	out := p
+	out.EventsPerSec[hpm.User][hpm.EvDMARead] = readsPerSec
+	out.EventsPerSec[hpm.User][hpm.EvDMAWrite] = writesPerSec
+	return out
+}
+
+// Apply advances a node's extended counters by seconds of this profile.
+// It writes through the daemon's 64-bit accumulator rather than the 32-bit
+// hardware registers: a 15-minute interval at SP2 rates overflows a 32-bit
+// register many times, which is exactly why the real tools kept software
+// totals. Fractional counts are rounded stochastically with rnd so rare
+// events (I-cache misses, DMA on short phases) keep the right expectation;
+// a nil rnd truncates.
+func (p Profile) Apply(acc *hpm.Accumulator, seconds float64, rnd *rng.Source) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("profile: negative apply duration %v", seconds))
+	}
+	for mode := hpm.Mode(0); mode < 2; mode++ {
+		for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
+			x := p.EventsPerSec[mode][ev] * seconds
+			n := uint64(x)
+			if rnd != nil && rnd.Float64() < x-float64(n) {
+				n++
+			}
+			if n > 0 {
+				acc.AddDirect(mode, ev, n)
+			}
+		}
+	}
+}
+
+// Standard is the precomputed set of profiles the campaign uses.
+type Standard struct {
+	CFD        Profile
+	BT         Profile
+	MatMul     Profile
+	Sequential Profile
+	Comm       Profile
+	Paging     Profile // measured on a memory-constrained node: system-heavy
+}
+
+// instrsPerMeasurement balances fidelity against start-up time; 400k
+// instructions is far past cache/TLB warm-up for every kernel.
+const instrsPerMeasurement = 400_000
+
+// MeasureStandard builds the standard profile set. The paging profile is
+// measured on a node with only 32 MB available to the job, against the
+// kernel's 256 MB working set — the >64-node oversubscription regime.
+func MeasureStandard(seed uint64) Standard {
+	base := power2.Config{Seed: seed + 1}
+	mustKernel := func(name string) kernels.Kernel {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			panic("profile: missing kernel " + name)
+		}
+		return k
+	}
+	pagingCfg := power2.Config{Seed: seed + 2, MemoryBytes: 32 << 20}
+	return Standard{
+		CFD:        MeasureKernel(mustKernel("cfd"), base, instrsPerMeasurement),
+		BT:         MeasureKernel(mustKernel("bt"), base, instrsPerMeasurement),
+		MatMul:     MeasureKernel(mustKernel("matmul"), base, instrsPerMeasurement),
+		Sequential: MeasureKernel(mustKernel("sequential"), base, instrsPerMeasurement),
+		Comm:       MeasureKernel(mustKernel("comm"), base, instrsPerMeasurement),
+		Paging:     MeasureKernel(mustKernel("paging"), pagingCfg, 700_000),
+	}
+}
+
+// Idle applies nothing: an unallocated or drained node. Kept as an explicit
+// named helper so campaign code reads as prose.
+func Idle(_ *hpm.Accumulator, _ float64) {}

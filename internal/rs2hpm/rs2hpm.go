@@ -1,0 +1,471 @@
+// Package rs2hpm reimplements the measurement tool suite the paper is
+// built on: Jussi Maki's POWER2 hardware-counter tools with Bill Saphir's
+// parallel extensions. It consists of
+//
+//   - a per-host daemon that serves hardware-counter snapshots over TCP
+//     (the real rs2hpmd, reached by a cron script every 15 minutes);
+//   - a client speaking the daemon's line protocol;
+//   - a collector that samples a set of daemons and accumulates a
+//     time-series of snapshots, wrap-correcting 32-bit counters between
+//     samples.
+//
+// The kernel extension of the original is replaced by direct access to
+// the simulated SCU monitor; everything from the wire up is real code
+// paths (stdlib net, text protocol, concurrent serving).
+package rs2hpm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hpm"
+	"repro/internal/simclock"
+)
+
+// Source provides extended counter totals for one node. node.Node
+// implements it; the extension from the 32-bit hardware registers to
+// 64-bit software totals is the daemon-side "multipass sampling" of the
+// original tools.
+type Source interface {
+	NodeID() int
+	Counters() hpm.Counts64
+}
+
+// Armer is the optional extension a Source may implement to let the
+// daemon re-program its counter selection remotely (ARM command).
+type Armer interface {
+	ArmSelection(name string) error
+}
+
+// Daemon serves counter snapshots for a set of nodes over TCP. One daemon
+// can front many simulated nodes (the real deployment ran one per host;
+// serving many keeps tests cheap without changing the protocol).
+type Daemon struct {
+	mu      sync.Mutex
+	sources map[int]Source
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewDaemon builds a daemon fronting the given sources.
+func NewDaemon(sources ...Source) *Daemon {
+	d := &Daemon{sources: make(map[int]Source, len(sources))}
+	for _, s := range sources {
+		d.sources[s.NodeID()] = s
+	}
+	return d
+}
+
+// AddSource registers another node (e.g. as the cluster boots).
+func (d *Daemon) AddSource(s Source) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sources[s.NodeID()] = s
+}
+
+// Start listens on addr (use "127.0.0.1:0" in tests) and serves until
+// Close. It returns the bound address.
+func (d *Daemon) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rs2hpm: listen: %w", err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer conn.Close()
+			d.serve(conn)
+		}()
+	}
+}
+
+// serve handles one client connection.
+func (d *Daemon) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "NODES":
+			d.writeNodes(w)
+		case "COUNTERS":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: COUNTERS <node>\n")
+				break
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad node id %q\n", fields[1])
+				break
+			}
+			d.writeCounters(w, id)
+		case "ARM":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: ARM <node|*> <selection>\n")
+				break
+			}
+			d.arm(w, fields[1], fields[2])
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (d *Daemon) writeNodes(w *bufio.Writer) {
+	d.mu.Lock()
+	ids := make([]int, 0, len(d.sources))
+	for id := range d.sources {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "NODE %d\n", id)
+	}
+	fmt.Fprintf(w, "END\n")
+}
+
+func (d *Daemon) writeCounters(w *bufio.Writer, id int) {
+	d.mu.Lock()
+	src, ok := d.sources[id]
+	d.mu.Unlock()
+	if !ok {
+		fmt.Fprintf(w, "ERR no such node %d\n", id)
+		return
+	}
+	totals := src.Counters()
+	fmt.Fprintf(w, "OK %d\n", id)
+	for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
+		info := hpm.Info(ev)
+		fmt.Fprintf(w, "C %d %s.%d %s %d %d\n",
+			ev, info.Group, info.Index, info.Label,
+			totals.Get(hpm.User, ev), totals.Get(hpm.System, ev))
+	}
+	fmt.Fprintf(w, "END\n")
+}
+
+// arm re-programs one node's (or every node's, for "*") counter selection.
+func (d *Daemon) arm(w *bufio.Writer, nodeArg, selection string) {
+	d.mu.Lock()
+	var targets []Source
+	if nodeArg == "*" {
+		for _, s := range d.sources {
+			targets = append(targets, s)
+		}
+	} else if id, err := strconv.Atoi(nodeArg); err == nil {
+		if s, ok := d.sources[id]; ok {
+			targets = append(targets, s)
+		}
+	}
+	d.mu.Unlock()
+	if len(targets) == 0 {
+		fmt.Fprintf(w, "ERR no such node %q\n", nodeArg)
+		return
+	}
+	armed := 0
+	for _, s := range targets {
+		a, ok := s.(Armer)
+		if !ok {
+			fmt.Fprintf(w, "ERR node %d cannot re-arm\n", s.NodeID())
+			return
+		}
+		if err := a.ArmSelection(selection); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		armed++
+	}
+	fmt.Fprintf(w, "OK armed %d node(s) with %s\n", armed, selection)
+}
+
+// Close stops the daemon and waits for in-flight connections.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	ln := d.ln
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	d.wg.Wait()
+}
+
+// Client speaks the daemon protocol over one TCP connection.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rs2hpm: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, sc: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+var errProtocol = errors.New("rs2hpm: protocol error")
+
+// Nodes lists the node IDs the daemon serves.
+func (c *Client) Nodes() ([]int, error) {
+	fmt.Fprintf(c.w, "NODES\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var ids []int
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
+		if line == "END" {
+			return ids, nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return nil, fmt.Errorf("%w: %s", errProtocol, line)
+		}
+		var id int
+		if _, err := fmt.Sscanf(line, "NODE %d", &id); err != nil {
+			return nil, fmt.Errorf("%w: bad line %q", errProtocol, line)
+		}
+		ids = append(ids, id)
+	}
+	return nil, fmt.Errorf("%w: connection closed mid-response", errProtocol)
+}
+
+// Counters fetches the current extended counter totals for one node.
+func (c *Client) Counters(id int) (hpm.Counts64, error) {
+	var snap hpm.Counts64
+	fmt.Fprintf(c.w, "COUNTERS %d\n", id)
+	if err := c.w.Flush(); err != nil {
+		return snap, err
+	}
+	first := true
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
+		if strings.HasPrefix(line, "ERR") {
+			return snap, fmt.Errorf("%w: %s", errProtocol, line)
+		}
+		if first {
+			if !strings.HasPrefix(line, "OK") {
+				return snap, fmt.Errorf("%w: expected OK, got %q", errProtocol, line)
+			}
+			first = false
+			continue
+		}
+		if line == "END" {
+			return snap, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 6 || fields[0] != "C" {
+			return snap, fmt.Errorf("%w: bad counter line %q", errProtocol, line)
+		}
+		ev, err1 := strconv.Atoi(fields[1])
+		user, err2 := strconv.ParseUint(fields[4], 10, 64)
+		sys, err3 := strconv.ParseUint(fields[5], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || ev < 0 || ev >= int(hpm.NumEvents) {
+			return snap, fmt.Errorf("%w: bad counter line %q", errProtocol, line)
+		}
+		snap.Counts[hpm.User][ev] = user
+		snap.Counts[hpm.System][ev] = sys
+	}
+	return snap, fmt.Errorf("%w: connection closed mid-response", errProtocol)
+}
+
+// Arm asks the daemon to re-program a node's counter selection; pass
+// node -1 to arm every node the daemon serves.
+func (c *Client) Arm(node int, selection string) error {
+	target := strconv.Itoa(node)
+	if node < 0 {
+		target = "*"
+	}
+	fmt.Fprintf(c.w, "ARM %s %s\n", target, selection)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if !c.sc.Scan() {
+		return fmt.Errorf("%w: connection closed", errProtocol)
+	}
+	line := strings.TrimSpace(c.sc.Text())
+	if !strings.HasPrefix(line, "OK") {
+		return fmt.Errorf("%w: %s", errProtocol, line)
+	}
+	return nil
+}
+
+// Sample is one timestamped snapshot of one node's extended counters.
+type Sample struct {
+	AtSeconds float64
+	Node      int
+	Snap      hpm.Counts64
+}
+
+// SampleLog accumulates samples and answers wrap-corrected delta queries.
+// It is the in-memory form of the files the 15-minute cron job wrote.
+type SampleLog struct {
+	mu      sync.Mutex
+	samples map[int][]Sample // per node, in time order
+}
+
+// NewSampleLog returns an empty log.
+func NewSampleLog() *SampleLog {
+	return &SampleLog{samples: make(map[int][]Sample)}
+}
+
+// Add appends a sample; samples for one node must arrive in time order.
+func (l *SampleLog) Add(s Sample) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ss := l.samples[s.Node]
+	if len(ss) > 0 && ss[len(ss)-1].AtSeconds > s.AtSeconds {
+		return fmt.Errorf("rs2hpm: out-of-order sample for node %d: %v after %v",
+			s.Node, s.AtSeconds, ss[len(ss)-1].AtSeconds)
+	}
+	l.samples[s.Node] = append(ss, s)
+	return nil
+}
+
+// Nodes lists node IDs with at least one sample.
+func (l *SampleLog) Nodes() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]int, 0, len(l.samples))
+	for id := range l.samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Len reports the number of samples held for a node.
+func (l *SampleLog) Len(node int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples[node])
+}
+
+// Samples returns a copy of the samples for one node.
+func (l *SampleLog) Samples(node int) []Sample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Sample, len(l.samples[node]))
+	copy(out, l.samples[node])
+	return out
+}
+
+// DeltaOver returns the wrap-corrected counter delta and the wall-time
+// span between the first sample at or after t0 and the last sample at or
+// before t1 for one node. ok is false when fewer than two samples fall in
+// the window.
+func (l *SampleLog) DeltaOver(node int, t0, t1 float64) (d hpm.Delta, seconds float64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ss := l.samples[node]
+	var first, last *Sample
+	for i := range ss {
+		if ss[i].AtSeconds >= t0 && ss[i].AtSeconds <= t1 {
+			if first == nil {
+				first = &ss[i]
+			}
+			last = &ss[i]
+		}
+	}
+	if first == nil || last == nil || first == last {
+		return hpm.Delta{}, 0, false
+	}
+	// Extended counters never wrap in a campaign; 32-bit wrap handling
+	// lives in hpm.Accumulator on the daemon side.
+	return hpm.Sub64(first.Snap, last.Snap), last.AtSeconds - first.AtSeconds, true
+}
+
+// Collector samples a daemon's nodes into a log.
+type Collector struct {
+	addr string
+	log  *SampleLog
+}
+
+// NewCollector builds a collector for the daemon at addr.
+func NewCollector(addr string, log *SampleLog) *Collector {
+	return &Collector{addr: addr, log: log}
+}
+
+// CollectOnce dials the daemon, samples every node it serves, and appends
+// the samples stamped with atSeconds. It is the body of the cron script.
+func (c *Collector) CollectOnce(atSeconds float64) error {
+	cl, err := Dial(c.addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ids, err := cl.Nodes()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		snap, err := cl.Counters(id)
+		if err != nil {
+			return fmt.Errorf("rs2hpm: collect node %d: %w", id, err)
+		}
+		if err := c.log.Add(Sample{AtSeconds: atSeconds, Node: id, Snap: snap}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule wires the collector to a simulation clock at the given period
+// (the 15-minute cron job). onErr receives collection failures; a nil
+// onErr panics on failure, since a silently broken collector would fake
+// machine idleness. It returns the stop function.
+func (c *Collector) Schedule(clock *simclock.Clock, period simclock.Time, onErr func(error)) (stop func()) {
+	return clock.Every(period, period, func(at simclock.Time) {
+		if err := c.CollectOnce(at.Seconds()); err != nil {
+			if onErr == nil {
+				panic(fmt.Sprintf("rs2hpm: scheduled collection failed: %v", err))
+			}
+			onErr(err)
+		}
+	})
+}

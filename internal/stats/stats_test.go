@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev(nil) = %v", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4, 1e-9) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Fatalf("Min/Max/Sum = %v/%v/%v", Min(xs), Max(xs), Sum(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty-slice Min/Max/Sum not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); !approx(got, 2.5, 1e-12) {
+		t.Fatalf("interpolated percentile = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 3)
+	want := []float64{1, 1.5, 2, 3, 4}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Fatalf("MovingAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	xs := []float64{4, 8, 15}
+	got := MovingAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("window-1 moving average changed values: %v", got)
+		}
+	}
+	// Degenerate window is clamped to 1.
+	got = MovingAverage(xs, 0)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("window-0 moving average changed values: %v", got)
+		}
+	}
+}
+
+func TestMovingAverageConstantInvariant(t *testing.T) {
+	f := func(v uint8, n uint8, w uint8) bool {
+		nn := int(n%50) + 1
+		xs := make([]float64, nn)
+		for i := range xs {
+			xs[i] = float64(v)
+		}
+		out := MovingAverage(xs, int(w%10)+1)
+		for _, o := range out {
+			if !approx(o, float64(v), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	xs := []float64{10, 20}
+	ws := []float64{1, 3}
+	if got := WeightedMean(xs, ws); !approx(got, 17.5, 1e-12) {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+	if got := WeightedMean([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("zero-weight WeightedMean = %v", got)
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Summary string")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(0.5) // bin 0
+	h.Observe(9.5) // bin 4
+	h.Add(5.0, 3)  // bin 2, weight 3
+	if h.Counts[0] != 1 || h.Counts[4] != 1 || h.Counts[2] != 3 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if h.MaxBin() != 2 {
+		t.Fatalf("MaxBin = %d", h.MaxBin())
+	}
+	if !approx(h.BinCenter(0), 1, 1e-12) || !approx(h.BinCenter(4), 9, 1e-12) {
+		t.Fatalf("BinCenter = %v, %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-3)
+	h.Observe(42)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		lo, hi float64
+		bins   int
+	}{{"no bins", 0, 1, 0}, {"inverted", 1, 0, 3}, {"empty range", 1, 1, 3}} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.bins)
+		})
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("daily", 3)
+	s.Values[0], s.Values[1], s.Values[2] = 3, 6, 9
+	sm := s.Smoothed(2)
+	want := []float64{3, 4.5, 7.5}
+	for i := range want {
+		if !approx(sm.Values[i], want[i], 1e-12) {
+			t.Fatalf("Smoothed[%d] = %v, want %v", i, sm.Values[i], want[i])
+		}
+	}
+	if sm.Label != "daily (moving avg)" {
+		t.Fatalf("label = %q", sm.Label)
+	}
+	// Smoothing must not alias the original storage.
+	sm.Values[0] = 99
+	if s.Values[0] != 3 {
+		t.Fatal("Smoothed aliases original values")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	// The paper's 30-of-270-days filter: keep days above a threshold.
+	xs := []float64{1.5, 2.5, 0.9, 3.1}
+	got := Filter(xs, func(x float64) bool { return x > 2.0 })
+	if len(got) != 2 || got[0] != 2.5 || got[1] != 3.1 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Correlation(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Correlation(xs, neg); !approx(got, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Correlation(xs, flat); got != 0 {
+		t.Fatalf("degenerate correlation = %v", got)
+	}
+	if got := Correlation([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("single-point correlation = %v", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	// Degenerate: all xs equal.
+	slope, intercept = LinearFit([]float64{5, 5}, []float64{1, 3})
+	if slope != 0 || !approx(intercept, 2, 1e-12) {
+		t.Fatalf("degenerate fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+package trace
+
+import "os"
+
+// statFile and writeRaw keep the test file free of os-level noise.
+func statFile(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func writeRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

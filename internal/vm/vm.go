@@ -1,0 +1,182 @@
+// Package vm models AIX virtual memory on a node: a fixed number of
+// resident page frames managed with a CLOCK second-chance policy. When a
+// job's working set exceeds node memory the manager page-faults, and each
+// fault costs system-mode CPU time plus disk DMA traffic — the mechanism
+// behind the paper's key finding that >64-node jobs spent more instructions
+// in system mode than user mode because they were paging.
+package vm
+
+import "fmt"
+
+// Fault classifies the outcome of a page touch.
+type Fault uint8
+
+// Fault kinds. A first touch of a never-seen page is a zero-fill fault:
+// AIX allocates and zeroes a frame, cheap and disk-free. A touch of a page
+// that was previously resident and got evicted is a page-in: the frame
+// must come back from paging space — the expensive path behind the
+// paper's >64-node pathology.
+const (
+	NoFault Fault = iota
+	ZeroFill
+	PageIn
+)
+
+// Stats accumulates paging events.
+type Stats struct {
+	Touches   uint64 // page references checked
+	Faults    uint64 // references to non-resident pages (zero-fill + page-in)
+	ZeroFills uint64 // first-touch faults (no disk traffic)
+	PageIns   uint64 // pages read back from paging space
+	PageOuts  uint64 // dirty pages written to disk on eviction
+	Evictions uint64 // pages evicted (dirty or clean)
+}
+
+// FaultRatio reports faults per touch.
+func (s Stats) FaultRatio() float64 {
+	if s.Touches == 0 {
+		return 0
+	}
+	return float64(s.Faults) / float64(s.Touches)
+}
+
+type frame struct {
+	vpn        uint64
+	valid      bool
+	referenced bool
+	dirty      bool
+}
+
+// Manager is a per-node virtual memory manager. Not safe for concurrent
+// use; each simulated node owns one.
+type Manager struct {
+	pageBytes uint64
+	frames    []frame
+	index     map[uint64]int      // vpn -> frame
+	seen      map[uint64]struct{} // pages ever resident (zero-fill vs page-in)
+	hand      int
+	free      int // frames never yet used (fast path before memory fills)
+	stats     Stats
+}
+
+// New builds a manager with capacity for memoryBytes of resident pages.
+// It panics on non-positive geometry.
+func New(memoryBytes uint64, pageBytes int) *Manager {
+	if memoryBytes == 0 || pageBytes <= 0 {
+		panic(fmt.Sprintf("vm: bad geometry memory=%d page=%d", memoryBytes, pageBytes))
+	}
+	n := int(memoryBytes / uint64(pageBytes))
+	if n < 1 {
+		n = 1
+	}
+	return &Manager{
+		pageBytes: uint64(pageBytes),
+		frames:    make([]frame, n),
+		index:     make(map[uint64]int, n),
+		seen:      make(map[uint64]struct{}, n),
+		free:      n,
+	}
+}
+
+// Frames reports the number of physical page frames.
+func (m *Manager) Frames() int { return len(m.frames) }
+
+// ResidentPages reports how many frames currently hold pages.
+func (m *Manager) ResidentPages() int { return len(m.index) }
+
+// Stats returns the accumulated paging counts.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters without evicting pages.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// PageOf returns the virtual page number for addr.
+func (m *Manager) PageOf(addr uint64) uint64 { return addr / m.pageBytes }
+
+// Touch references the page containing addr, faulting it in if necessary.
+// dirty marks the page modified (a store). It returns the fault kind.
+func (m *Manager) Touch(addr uint64, dirty bool) Fault {
+	m.stats.Touches++
+	vpn := addr / m.pageBytes
+	if fi, ok := m.index[vpn]; ok {
+		m.frames[fi].referenced = true
+		if dirty {
+			m.frames[fi].dirty = true
+		}
+		return NoFault
+	}
+
+	m.stats.Faults++
+	kind := ZeroFill
+	if _, ever := m.seen[vpn]; ever {
+		kind = PageIn
+		m.stats.PageIns++
+	} else {
+		m.stats.ZeroFills++
+		m.seen[vpn] = struct{}{}
+	}
+
+	var fi int
+	if m.free > 0 {
+		fi = len(m.frames) - m.free
+		m.free--
+	} else {
+		fi = m.evict()
+	}
+	m.frames[fi] = frame{vpn: vpn, valid: true, referenced: true, dirty: dirty}
+	m.index[vpn] = fi
+	return kind
+}
+
+// evict runs the CLOCK hand until it finds an unreferenced frame, clearing
+// reference bits as it passes, and returns the freed frame index.
+func (m *Manager) evict() int {
+	for {
+		f := &m.frames[m.hand]
+		if f.valid && f.referenced {
+			f.referenced = false
+			m.hand = (m.hand + 1) % len(m.frames)
+			continue
+		}
+		idx := m.hand
+		m.hand = (m.hand + 1) % len(m.frames)
+		if f.valid {
+			delete(m.index, f.vpn)
+			m.stats.Evictions++
+			if f.dirty {
+				m.stats.PageOuts++
+			}
+		}
+		f.valid = false
+		return idx
+	}
+}
+
+// Resident probes whether the page containing addr is resident without
+// touching reference bits or statistics.
+func (m *Manager) Resident(addr uint64) bool {
+	_, ok := m.index[addr/m.pageBytes]
+	return ok
+}
+
+// ReleaseAll drops every resident page and forgets the touch history (job
+// exit). Dirty pages count as page-outs: AIX must clean them before the
+// frames are reusable.
+func (m *Manager) ReleaseAll() {
+	for vpn, fi := range m.index {
+		if m.frames[fi].dirty {
+			m.stats.PageOuts++
+		}
+		m.frames[fi] = frame{}
+		delete(m.index, vpn)
+	}
+	m.seen = make(map[uint64]struct{}, len(m.frames))
+	m.free = len(m.frames)
+	m.hand = 0
+}
+
+// Oversubscription reports the ratio of a hypothetical working set (in
+// bytes) to physical memory; values above 1.0 predict steady-state paging.
+func (m *Manager) Oversubscription(workingSetBytes uint64) float64 {
+	return float64(workingSetBytes) / float64(uint64(len(m.frames))*m.pageBytes)
+}

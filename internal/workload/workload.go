@@ -1,0 +1,527 @@
+// Package workload models the NAS SP2 user population over the paper's
+// nine-month measurement window (July 1996 - March 1997): a stochastic
+// stream of batch jobs with the published marginals —
+//
+//   - node counts peaked at 16 (then 32 and 8), with almost no demand
+//     beyond 64 nodes (Figure 2);
+//   - a job-class mix dominated by moderately-tuned multi-block CFD, with
+//     a tail of well-tuned codes (the 40 Mflops/node Navier-Stokes run of
+//     Cui and Street), debug/development runs, NPB-style benchmarks, and
+//     — for >64-node jobs — memory-oversubscribed codes that page
+//     (Figures 3 and 5);
+//   - daily load demand averaging ~64% utilisation with heavy
+//     day-to-day variability and no trend over time (Figure 1);
+//   - per-job performance spread matching Figure 4's 320 +/- 200 Mflops
+//     for 16-node jobs.
+//
+// Jobs run under the pbs scheduler on dedicated nodes; while a job runs,
+// its nodes' hardware counters advance at the rates micro-measured for its
+// class (see internal/profile), and the campaign reduces the counter
+// stream to per-day cluster deltas — the same reduction the 15-minute
+// RS2HPM cron sampling performed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hpm"
+	"repro/internal/node"
+	"repro/internal/pbs"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+// Class describes one workload class: which crunch profile it runs, how
+// much of its wall time is computation, and its I/O signature.
+type Class struct {
+	Name string
+	// Crunch is the pure-computation counter signature.
+	Crunch profile.Profile
+	// ComputeDuty is the fraction of job wall time spent crunching; the
+	// rest is communication/imbalance.
+	ComputeDuty float64
+	// CommActive is the fraction of non-compute time spent in the
+	// message-passing software path (buffer copies); the remainder idles.
+	CommActive float64
+	// Comm is the message-passing service signature.
+	Comm profile.Profile
+	// PerfSigma is the lognormal sigma of per-job performance jitter.
+	PerfSigma float64
+	// MemoryPerNode is the per-node working set (drives the record and,
+	// for paging classes, already baked into the crunch profile).
+	MemoryPerNode uint64
+	// MsgBytesPerFlop scales message volume with computation.
+	MsgBytesPerFlop float64
+	// DiskOutBytesPerSec is steady result-output traffic to the NFS home
+	// filesystems (memory-to-device: dma_read).
+	DiskOutBytesPerSec float64
+}
+
+// jobProfile builds the effective per-node profile for one job instance:
+// jittered crunch, duty-cycled, overlaid with active comm time, with DMA
+// rates derived from the class's message volume.
+func (c Class) jobProfile(jitter float64) profile.Profile {
+	crunch := c.Crunch.Scale(jitter)
+	p := crunch.Scale(c.ComputeDuty)
+	p = p.Plus(c.Comm.Scale((1 - c.ComputeDuty) * c.CommActive))
+
+	// Message traffic: each node both sends and receives at the same
+	// volume (halo exchanges are symmetric); sends are dma_read
+	// (memory-to-device), receives dma_write. Disk output adds reads.
+	inJobFlopsPerSec := p.Mflops * 1e6
+	msgTransfersPerSec := c.MsgBytesPerFlop * inJobFlopsPerSec / 64
+	diskTransfersPerSec := c.DiskOutBytesPerSec / 64
+	p = p.WithDMA(msgTransfersPerSec+diskTransfersPerSec, msgTransfersPerSec)
+	p.Name = c.Name
+	return p
+}
+
+// Mix is the full class registry plus node-count and class-assignment
+// distributions.
+type Mix struct {
+	Production Class // moderately tuned multi-block CFD: the bulk
+	Tuned      Class // well-tuned codes (Cui & Street class)
+	Debug      Class // development runs: slow, short
+	Bench      Class // NPB-style benchmark runs
+	Paging     Class // memory-oversubscribed codes
+	NonFP      Class // non-floating-point large jobs
+}
+
+// DefaultMix builds the calibrated class mix from measured kernel profiles.
+func DefaultMix(std profile.Standard) Mix {
+	return Mix{
+		Production: Class{
+			Name:               "production-cfd",
+			Crunch:             std.CFD,
+			ComputeDuty:        0.80,
+			CommActive:         0.45,
+			Comm:               std.Comm,
+			PerfSigma:          0.45,
+			MemoryPerNode:      48 << 20,
+			MsgBytesPerFlop:    0.06,
+			DiskOutBytesPerSec: 300e3,
+		},
+		Tuned: Class{
+			Name:               "tuned-cfd",
+			Crunch:             std.BT, // high-ILP, cache-blocked codes
+			ComputeDuty:        0.50,
+			CommActive:         0.5,
+			Comm:               std.Comm,
+			PerfSigma:          0.25,
+			MemoryPerNode:      24 << 20,
+			MsgBytesPerFlop:    0.03,
+			DiskOutBytesPerSec: 200e3,
+		},
+		Debug: Class{
+			Name:               "debug",
+			Crunch:             std.CFD.Scale(0.45),
+			ComputeDuty:        0.55,
+			CommActive:         0.5,
+			Comm:               std.Comm,
+			PerfSigma:          0.6,
+			MemoryPerNode:      16 << 20,
+			MsgBytesPerFlop:    0.08,
+			DiskOutBytesPerSec: 100e3,
+		},
+		Bench: Class{
+			Name:               "npb-bench",
+			Crunch:             std.BT,
+			ComputeDuty:        0.55,
+			CommActive:         0.5,
+			Comm:               std.Comm,
+			PerfSigma:          0.15,
+			MemoryPerNode:      24 << 20,
+			MsgBytesPerFlop:    0.03,
+			DiskOutBytesPerSec: 100e3,
+		},
+		Paging: Class{
+			Name:               "paging",
+			Crunch:             std.Paging,
+			ComputeDuty:        0.9,  // "compute" here is mostly fault service
+			CommActive:         0.12, // thrashing jobs barely reach their comm phases
+			Comm:               std.Comm,
+			PerfSigma:          0.5,
+			MemoryPerNode:      256 << 20, // 2x node memory
+			MsgBytesPerFlop:    0.02,
+			DiskOutBytesPerSec: 100e3,
+		},
+		NonFP: Class{
+			Name:               "non-fp",
+			Crunch:             std.Comm, // integer/copy-bound work
+			ComputeDuty:        0.7,
+			CommActive:         0.5,
+			Comm:               std.Comm,
+			PerfSigma:          0.4,
+			MemoryPerNode:      32 << 20,
+			MsgBytesPerFlop:    0.0,
+			DiskOutBytesPerSec: 400e3,
+		},
+	}
+}
+
+// Config parameterises a campaign.
+type Config struct {
+	Days  int // 270 for the paper's nine months
+	Nodes int // 144
+	Seed  uint64
+	// SamplePeriodSeconds is the counter sampling cadence (900 = 15 min).
+	SamplePeriodSeconds float64
+	// MeanUtil / UtilSigma shape the daily demand distribution.
+	MeanUtil  float64
+	UtilSigma float64
+	// PagingDayProb is the probability a day's mix leans oversubscribed.
+	PagingDayProb float64
+	// MinRecordWall filters batch records (600 s in the paper).
+	MinRecordWall float64
+}
+
+// DefaultConfig returns the paper's campaign parameters.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Days:                270,
+		Nodes:               units.NodeCount,
+		Seed:                seed,
+		SamplePeriodSeconds: 900,
+		MeanUtil:            0.65,
+		UtilSigma:           0.20,
+		PagingDayProb:       0.20,
+		MinRecordWall:       600,
+	}
+}
+
+// Day is the campaign's per-day reduction of the counter stream.
+type Day struct {
+	Index int
+	// Delta is the cluster-wide counter delta for the day (all nodes).
+	Delta hpm.Delta
+	// BusyNodeSeconds is PBS-allocated node time during the day.
+	BusyNodeSeconds float64
+}
+
+// Gflops reports the day's system floating-point rate in Gflops.
+func (d Day) Gflops() float64 {
+	r := hpm.UserRates(d.Delta, 86400)
+	return r.MflopsAll / 1000 // cluster-wide Mflops -> Gflops
+}
+
+// PerNodeRates reports the day's per-node user rates (the Table 2/3 view:
+// cluster totals divided by node count).
+func (d Day) PerNodeRates(nodes int) hpm.Rates {
+	return hpm.UserRates(d.Delta, 86400*float64(nodes))
+}
+
+// Utilization reports the day's PBS utilisation.
+func (d Day) Utilization(nodes int) float64 {
+	return d.BusyNodeSeconds / (86400 * float64(nodes))
+}
+
+// SystemUserFXURatio reports the day's paging indicator (Figure 5 x-axis).
+func (d Day) SystemUserFXURatio() float64 {
+	return hpm.SystemUserFXURatio(d.Delta)
+}
+
+// Result is everything the analysis layer needs.
+type Result struct {
+	Config  Config
+	Days    []Day
+	Records []pbs.Record
+	// MaxGflops15min is the highest 15-minute system rate observed.
+	MaxGflops15min float64
+	// DroppedRecords counts jobs under the record filter.
+	DroppedRecords int
+}
+
+// Campaign drives the cluster through the measurement window.
+type Campaign struct {
+	cfg   Config
+	mix   Mix
+	clock *simclock.Clock
+	nodes []*node.Node
+	srv   *pbs.Server
+	rnd   *rng.Source
+
+	nodeWeights *rng.Weighted
+	nodeCounts  []int
+
+	running map[int]*jobRun
+
+	prev       []hpm.Counts64 // last sampled totals per node
+	curDay     Day
+	days       []Day
+	prevBusyNS float64
+	maxG15     float64
+	lastTick   simclock.Time
+}
+
+type jobRun struct {
+	job     *pbs.Job
+	prof    profile.Profile
+	applied simclock.Time // counters advanced up to this instant
+	rnd     *rng.Source
+}
+
+// NewCampaign assembles a campaign. The mix usually comes from
+// DefaultMix(profile.MeasureStandard(seed)).
+func NewCampaign(cfg Config, mix Mix) *Campaign {
+	if cfg.Days <= 0 || cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("workload: bad campaign config %+v", cfg))
+	}
+	if cfg.SamplePeriodSeconds <= 0 {
+		cfg.SamplePeriodSeconds = 900
+	}
+	clock := &simclock.Clock{}
+	nodes := make([]*node.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{ID: i})
+	}
+	c := &Campaign{
+		cfg:     cfg,
+		mix:     mix,
+		clock:   clock,
+		nodes:   nodes,
+		rnd:     rng.New(cfg.Seed),
+		running: make(map[int]*jobRun),
+		prev:    make([]hpm.Counts64, cfg.Nodes),
+	}
+	c.srv = pbs.New(clock, nodes, pbs.Config{DrainThreshold: 64, MinRecordWall: cfg.MinRecordWall})
+	c.srv.OnStart = c.onStart
+	c.srv.OnEnd = c.onEnd
+
+	// Node-count demand distribution (Figure 2's marginal): counts and
+	// weights chosen so 16-, 32- and 8-node jobs dominate wall time and
+	// >64-node jobs are rare.
+	c.nodeCounts = []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 80, 96, 128}
+	c.nodeWeights = rng.NewWeighted([]float64{
+		3, 3, 6, 15, 32, 5, 4, 19, 6, 7, 0.9, 0.6, 0.4,
+	})
+	return c
+}
+
+// Nodes exposes the cluster (for examples and the daemon).
+func (c *Campaign) Nodes() []*node.Node { return c.nodes }
+
+// Clock exposes the simulation clock.
+func (c *Campaign) Clock() *simclock.Clock { return c.clock }
+
+// classFor assigns a workload class given the node count and day character.
+func (c *Campaign) classFor(nodes int, pagingDay bool) Class {
+	if nodes > 64 {
+		// The paper: >64-node jobs were paging (memory oversubscription),
+		// not floating-point intensive, or using synchronous comm.
+		switch {
+		case c.rnd.Bool(0.75):
+			return c.mix.Paging
+		case c.rnd.Bool(0.6):
+			return c.mix.NonFP
+		default:
+			return c.mix.Production
+		}
+	}
+	pagingShare := 0.04
+	if pagingDay {
+		pagingShare = 0.35
+	}
+	x := c.rnd.Float64()
+	switch {
+	case x < pagingShare:
+		return c.mix.Paging
+	case x < pagingShare+0.13:
+		return c.mix.Debug
+	case x < pagingShare+0.13+0.06:
+		return c.mix.Tuned
+	case x < pagingShare+0.13+0.06+0.04:
+		return c.mix.Bench
+	default:
+		return c.mix.Production
+	}
+}
+
+// onStart builds the job's effective profile (with per-job jitter and the
+// day-quality factor assigned at submission).
+func (c *Campaign) onStart(j *pbs.Job) {
+	class := c.classByName(j.Spec.Class)
+	// Mean-one lognormal jitter (mu = -sigma^2/2).
+	sigma := class.PerfSigma
+	jitter := c.rnd.LogNormal(-sigma*sigma/2, sigma)
+	if f := j.Spec.PerfFactor; f > 0 {
+		jitter *= f
+	}
+	if jitter < 0.2 {
+		jitter = 0.2
+	}
+	if jitter > 1.6 {
+		jitter = 1.6
+	}
+	c.running[j.ID] = &jobRun{
+		job:     j,
+		prof:    class.jobProfile(jitter),
+		applied: c.clock.Now(),
+		rnd:     c.rnd.Fork(),
+	}
+}
+
+func (c *Campaign) classByName(name string) Class {
+	for _, cl := range []Class{c.mix.Production, c.mix.Tuned, c.mix.Debug, c.mix.Bench, c.mix.Paging, c.mix.NonFP} {
+		if cl.Name == name {
+			return cl
+		}
+	}
+	panic("workload: unknown class " + name)
+}
+
+// onEnd flushes the job's remaining counter extrapolation before the PBS
+// epilogue reads the final totals.
+func (c *Campaign) onEnd(j *pbs.Job) {
+	run, ok := c.running[j.ID]
+	if !ok {
+		return
+	}
+	c.advanceJob(run, c.clock.Now())
+	delete(c.running, j.ID)
+}
+
+// advanceJob applies the job's profile to its nodes up to instant t.
+func (c *Campaign) advanceJob(run *jobRun, t simclock.Time) {
+	dt := (t - run.applied).Seconds()
+	if dt <= 0 {
+		return
+	}
+	for _, nd := range run.job.Nodes() {
+		nd.WithAccumulator(func(a *hpm.Accumulator) {
+			run.prof.Apply(a, dt, run.rnd)
+		})
+	}
+	run.applied = t
+}
+
+// tick is the 15-minute sampler: advance all running jobs, then fold every
+// node's new counts into the current day and track the peak 15-minute rate.
+func (c *Campaign) tick(at simclock.Time) {
+	for _, run := range c.running {
+		c.advanceJob(run, at)
+	}
+	var tickDelta hpm.Delta
+	for i, nd := range c.nodes {
+		cur := nd.Counters()
+		d := hpm.Sub64(c.prev[i], cur)
+		c.prev[i] = cur
+		tickDelta.Add(d)
+	}
+	c.curDay.Delta.Add(tickDelta)
+
+	span := (at - c.lastTick).Seconds()
+	if span > 0 {
+		g := hpm.UserRates(tickDelta, span).MflopsAll / 1000
+		if g > c.maxG15 {
+			c.maxG15 = g
+		}
+	}
+	c.lastTick = at
+}
+
+// endDay closes out the current day.
+func (c *Campaign) endDay(dayIdx int) {
+	busy := c.srv.BusyNodeSeconds()
+	c.curDay.Index = dayIdx
+	c.curDay.BusyNodeSeconds = busy - c.prevBusyNS
+	c.prevBusyNS = busy
+	c.days = append(c.days, c.curDay)
+	c.curDay = Day{}
+}
+
+// generateDay submits the day's job arrivals: total node-seconds of demand
+// set by the day's target utilisation, spread uniformly over the day.
+func (c *Campaign) generateDay(dayIdx int) {
+	util := c.rnd.NormalClamped(c.cfg.MeanUtil, c.cfg.UtilSigma, 0.05, 0.97)
+	// Weekend dips: submission demand drops when the users go home — part
+	// of the load-demand fluctuation Figure 1 attributes the variability
+	// to. (The campaign starts on a Monday.)
+	if dow := dayIdx % 7; dow == 5 || dow == 6 {
+		util *= 0.62
+	}
+	pagingDay := c.rnd.Bool(c.cfg.PagingDayProb)
+	// Day quality: how well-tuned the day's job population is. Most days
+	// sit below 1 (development machine), a few are benchmark-grade.
+	quality := c.rnd.LogNormal(-0.22, 0.30)
+	if quality < 0.35 {
+		quality = 0.35
+	}
+	if quality > 1.35 {
+		quality = 1.35
+	}
+	demand := util * float64(c.cfg.Nodes) * 86400
+
+	dayStart := simclock.Days(float64(dayIdx))
+	for demand > 0 {
+		nodes := c.nodeCounts[c.nodeWeights.Sample(c.rnd)]
+		wall := c.rnd.LogNormal(9.2, 0.85) // median ~10^4/e^0.8... ~9900 s
+		if wall < 700 {
+			wall = 700
+		}
+		if wall > 86400 {
+			wall = 86400
+		}
+		class := c.classFor(nodes, pagingDay)
+		at := dayStart + simclock.Time(c.rnd.Float64()*86400)
+		spec := pbs.Spec{
+			User:               fmt.Sprintf("u%02d", c.rnd.Intn(40)),
+			Nodes:              nodes,
+			WallSeconds:        wall,
+			Class:              class.Name,
+			MemoryPerNodeBytes: class.MemoryPerNode,
+			PerfFactor:         quality,
+		}
+		c.clock.At(at, func() {
+			// Keep backlog bounded: drop submissions when the queue is
+			// deep (users stop submitting into a jammed machine).
+			if c.srv.QueueLength() < 40 {
+				if _, err := c.srv.Submit(spec); err != nil {
+					panic(err)
+				}
+			}
+		})
+		demand -= float64(nodes) * wall
+	}
+}
+
+// Run executes the campaign and returns the reduction.
+func (c *Campaign) Run() Result {
+	if int(86400)%int(c.cfg.SamplePeriodSeconds) != 0 {
+		panic(fmt.Sprintf("workload: sample period %v must divide a day", c.cfg.SamplePeriodSeconds))
+	}
+	period := simclock.Time(c.cfg.SamplePeriodSeconds)
+	ticksPerDay := int(86400 / c.cfg.SamplePeriodSeconds)
+	total := simclock.Days(float64(c.cfg.Days))
+
+	// Schedule all day generators up front (they only enqueue submit
+	// events for their own day).
+	for d := 0; d < c.cfg.Days; d++ {
+		c.generateDay(d)
+	}
+	// The sampler; the tick landing on a day boundary closes the day
+	// after folding its last interval in.
+	tickNo := 0
+	stop := c.clock.Every(period, period, func(at simclock.Time) {
+		if at > total {
+			return
+		}
+		c.tick(at)
+		tickNo++
+		if tickNo%ticksPerDay == 0 {
+			c.endDay(tickNo/ticksPerDay - 1)
+		}
+	})
+
+	c.clock.RunUntil(total)
+	stop()
+
+	return Result{
+		Config:         c.cfg,
+		Days:           c.days,
+		Records:        c.srv.Records(),
+		MaxGflops15min: c.maxG15,
+		DroppedRecords: c.srv.DroppedRecords(),
+	}
+}
