@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet lint lint-fixtures ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/hpmlint ./...
+
+# The violation fixtures must keep producing findings; a linter that goes
+# quiet is worse than no linter.
+lint-fixtures:
+	! $(GO) run ./cmd/hpmlint ./internal/lint/testdata/src/...
+
+ci: build vet test race lint lint-fixtures

@@ -1,0 +1,56 @@
+// Command hpmlint runs the repository's domain-aware static-analysis
+// suite over the given packages:
+//
+//	go run ./cmd/hpmlint ./...
+//
+// It exits 0 when every finding is fixed or explicitly suppressed with an
+// //hpmlint:ignore <rule> <reason> comment, 1 when findings remain, and 2
+// on usage or load errors. See internal/lint for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpmlint [-rules] <packages>\n")
+		fmt.Fprintf(os.Stderr, "packages are directory patterns: ./... or ./internal/hpm\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hpmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

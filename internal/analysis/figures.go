@@ -193,6 +193,7 @@ type Figure5Data struct {
 func ComputeFigure5(res workload.Result) Figure5Data {
 	var f Figure5Data
 	for _, d := range res.Days {
+		//hpmlint:ignore floatcompare exact zero means "no samples accumulated", not a computed value
 		if d.BusyNodeSeconds == 0 {
 			continue
 		}
@@ -306,6 +307,7 @@ func ComputeUserReport(res workload.Result) UserReport {
 		rep.Rows = append(rep.Rows, row)
 	}
 	sort.Slice(rep.Rows, func(i, j int) bool {
+		//hpmlint:ignore floatcompare sort tie-break needs exact comparison for a total order
 		if rep.Rows[i].NodeSeconds != rep.Rows[j].NodeSeconds {
 			return rep.Rows[i].NodeSeconds > rep.Rows[j].NodeSeconds
 		}

@@ -13,6 +13,7 @@ package hps
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/units"
@@ -62,11 +63,14 @@ type Adapter interface {
 	AccountDMA(reads, writes uint64)
 }
 
-// Network is a switch fabric connecting adapters. Safe for sequential use;
-// the simulation drives it from one goroutine (the mpi layer serialises).
+// Network is a switch fabric connecting adapters. Safe for concurrent
+// use: Deliver is called from mpi rank goroutines while the cluster layer
+// may still be attaching late-booting nodes or NFS servers.
 type Network struct {
-	cfg      Config
-	adapters map[int]Adapter
+	cfg Config
+
+	mu       sync.RWMutex
+	adapters map[int]Adapter // guarded by mu
 
 	// Aggregate statistics; atomic because Deliver is called concurrently
 	// from mpi rank goroutines.
@@ -88,6 +92,8 @@ func (n *Network) Config() Config { return n.cfg }
 // Attach registers an adapter; it panics on a duplicate node ID (wiring is
 // a construction-time programming error).
 func (n *Network) Attach(a Adapter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, dup := n.adapters[a.NodeID()]; dup {
 		panic(fmt.Sprintf("hps: duplicate adapter for node %d", a.NodeID()))
 	}
@@ -95,7 +101,11 @@ func (n *Network) Attach(a Adapter) {
 }
 
 // Attached reports the number of attached adapters.
-func (n *Network) Attached() int { return len(n.adapters) }
+func (n *Network) Attached() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.adapters)
+}
 
 // TransferTime returns the one-way time to move a message of the given
 // size between two nodes: latency plus serialisation at link bandwidth.
@@ -117,12 +127,14 @@ func (n *Network) Transfers(bytes uint64) uint64 {
 // time. Both endpoints must be attached. The sender's adapter DMAs the
 // message out of memory (dma_read); the receiver's DMAs it in (dma_write).
 func (n *Network) Deliver(src, dst int, bytes uint64) (seconds float64, err error) {
-	sa, ok := n.adapters[src]
-	if !ok {
+	n.mu.RLock()
+	sa, okSrc := n.adapters[src]
+	da, okDst := n.adapters[dst]
+	n.mu.RUnlock()
+	if !okSrc {
 		return 0, fmt.Errorf("hps: source node %d not attached", src)
 	}
-	da, ok := n.adapters[dst]
-	if !ok {
+	if !okDst {
 		return 0, fmt.Errorf("hps: destination node %d not attached", dst)
 	}
 	t := n.Transfers(bytes)

@@ -2,6 +2,8 @@ package hps
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -183,5 +185,63 @@ func TestDMAConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// atomicAdapter is an adapter safe for concurrent delivery, for the race
+// stress test below.
+type atomicAdapter struct {
+	id     int
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+func (a *atomicAdapter) NodeID() int { return a.id }
+func (a *atomicAdapter) AccountDMA(r, w uint64) {
+	a.reads.Add(r)
+	a.writes.Add(w)
+}
+
+// TestConcurrentAttachAndDeliver exercises the fabric the way the cluster
+// layer does: rank goroutines delivering messages while late-booting nodes
+// and NFS servers are still being attached. Run under -race this pins the
+// mutex protection of the adapter table.
+func TestConcurrentAttachAndDeliver(t *testing.T) {
+	n := New(SP2())
+	const initial = 8
+	for i := 0; i < initial; i++ {
+		n.Attach(&atomicAdapter{id: i})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				src := (g + i) % initial
+				dst := (src + 1) % initial
+				if _, err := n.Deliver(src, dst, 256); err != nil {
+					t.Errorf("deliver: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			n.Attach(&atomicAdapter{id: initial + i})
+			n.Attached()
+			n.Stats()
+		}
+	}()
+	wg.Wait()
+	if got := n.Attached(); got != initial+100 {
+		t.Fatalf("Attached() = %d, want %d", got, initial+100)
+	}
+	msgs, bytes := n.Stats()
+	if msgs != 2000 || bytes != 2000*256 {
+		t.Fatalf("Stats() = %d msgs, %d bytes", msgs, bytes)
 	}
 }

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CounterWidthAnalyzer flags raw uint32 arithmetic outside internal/hpm.
+//
+// The RS2HPM hardware registers are 32-bit and wrap every few tens of
+// seconds at SP2 rates (the cycles counter wraps every ~64 s at 66.7 MHz).
+// The only uint32 values in this repository are raw register contents, and
+// the only correct way to combine them is the single-wrap-corrected
+// subtraction and the extended 64-bit accumulation that live in
+// internal/hpm (hpm.Sub, hpm.Accumulator). Ad-hoc uint32 arithmetic or
+// ordering anywhere else silently corrupts counts across a wrap.
+func CounterWidthAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "counterwidth",
+		Doc:  "uint32 counter arithmetic belongs in internal/hpm's wrap-correction helpers",
+		Run:  runCounterWidth,
+	}
+}
+
+// arithmeticOps wrap silently at 32 bits; relationalOps give wrong answers
+// across a wrap (after < before even though the counter only advanced).
+var (
+	arithmeticOps = map[token.Token]bool{
+		token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	}
+	arithmeticAssignOps = map[token.Token]bool{
+		token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+		token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+	}
+	relationalOps = map[token.Token]bool{
+		token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	}
+)
+
+func runCounterWidth(p *Package) []Diagnostic {
+	// The wrap-correction helpers themselves are the sanctioned home of
+	// uint32 arithmetic.
+	if strings.HasSuffix(p.Path, "internal/hpm") {
+		return nil
+	}
+	isU32 := func(e ast.Expr) bool {
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Uint32
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(n.Pos()),
+			Rule: "counterwidth",
+			Message: fmt.Sprintf("%s on uint32: 32-bit counter values wrap — use internal/hpm's wrap-correction helpers (hpm.Sub, hpm.Accumulator)",
+				what),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithmeticOps[n.Op] && (isU32(n.X) || isU32(n.Y)) {
+					report(n, fmt.Sprintf("raw %q arithmetic", n.Op.String()))
+				}
+				if relationalOps[n.Op] && (isU32(n.X) || isU32(n.Y)) {
+					report(n, fmt.Sprintf("raw %q comparison", n.Op.String()))
+				}
+			case *ast.AssignStmt:
+				if arithmeticAssignOps[n.Tok] && len(n.Lhs) == 1 && isU32(n.Lhs[0]) {
+					report(n, fmt.Sprintf("raw %q arithmetic", n.Tok.String()))
+				}
+			case *ast.IncDecStmt:
+				if isU32(n.X) {
+					report(n, fmt.Sprintf("raw %q arithmetic", n.Tok.String()))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

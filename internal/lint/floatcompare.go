@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatComparePackages are the statistics/validation packages where the
+// rule applies. They reduce nine months of counter deltas to the paper's
+// table values; an exact == on a float there is almost always a latent
+// tolerance bug (the comparison silently starts failing when an upstream
+// reduction is reordered). Matched by package name so testdata fixtures
+// can exercise the rule.
+var floatComparePackages = map[string]bool{
+	"analysis": true,
+	"stats":    true,
+}
+
+// FloatCompareAnalyzer flags == and != on floating-point operands in the
+// analysis and stats packages.
+func FloatCompareAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatcompare",
+		Doc:  "analysis/stats must not compare floats with == or != — use an epsilon",
+		Run:  runFloatCompare,
+	}
+}
+
+func runFloatCompare(p *Package) []Diagnostic {
+	if !floatComparePackages[p.Name] {
+		return nil
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(be.X) && !isFloat(be.Y) {
+				return true
+			}
+			// Two constants fold at compile time; nothing can drift.
+			if isConst(be.X) && isConst(be.Y) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(be.Pos()),
+				Rule: "floatcompare",
+				Message: fmt.Sprintf("%q on floating-point values; rounding makes exact equality fragile — compare against an epsilon",
+					be.Op.String()),
+			})
+			return true
+		})
+	}
+	return diags
+}

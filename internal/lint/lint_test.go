@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation comments used by the violation
+// fixtures: one or more backquoted regexes after "// want".
+var wantRe = regexp.MustCompile("// want ((?:`[^`]+`\\s*)+)")
+
+var backquoted = regexp.MustCompile("`([^`]+)`")
+
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans a fixture directory for // want comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range backquoted.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, q[1], err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+	return wants
+}
+
+// TestAnalyzerGolden checks each analyzer against its violation fixture:
+// every // want comment must be matched by a diagnostic on that line, and
+// no unexpected diagnostics may appear. The fixtures also contain clean
+// code and suppressed violations, so a pass proves both directions.
+func TestAnalyzerGolden(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+	}{
+		{"nondeterminism", NondeterminismAnalyzer()},
+		{"counterwidth", CounterWidthAnalyzer()},
+		{"guarded", GuardedStateAnalyzer()},
+		{"floatcompare", FloatCompareAnalyzer()},
+		{"unitsmixing", UnitsMixingAnalyzer()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.fixture)
+			pkgs, err := Load(".", dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := RunAnalyzers(pkgs, []*Analyzer{tc.analyzer})
+			wants := parseWants(t, dir)
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == filepath.Base(d.Pos.Filename) &&
+						w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestBadIgnoreReported checks that a suppression without a reason is
+// itself reported and suppresses nothing.
+func TestBadIgnoreReported(t *testing.T) {
+	pkgs, err := Load(".", filepath.Join("testdata", "src", "badignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	got := strings.Join(rules, ",")
+	if got != "badignore,floatcompare" {
+		t.Fatalf("want [badignore floatcompare], got %v", diags)
+	}
+}
+
+// TestFixtureTreeIsDirty checks the acceptance criterion that hpmlint
+// exits non-zero on the violation fixtures: running the full suite over
+// the testdata tree must report findings for every analyzer.
+func TestFixtureTreeIsDirty(t *testing.T) {
+	diags, err := Run(".", "testdata/src/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	for _, a := range Analyzers() {
+		if byRule[a.Name] == 0 {
+			t.Errorf("no %s findings in the fixture tree", a.Name)
+		}
+	}
+	if byRule["badignore"] == 0 {
+		t.Errorf("no badignore findings in the fixture tree")
+	}
+}
+
+// TestRepoIsClean is the zero-findings gate: the full suite over the real
+// tree must report nothing unsuppressed. This is the test-suite twin of
+// the `hpmlint ./...` CI step.
+func TestRepoIsClean(t *testing.T) {
+	root, _, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestSuppressionPlacement pins the two sanctioned placements: same line
+// and the line directly above. Two lines above must NOT suppress.
+func TestSuppressionPlacement(t *testing.T) {
+	d := Diagnostic{Rule: "floatcompare"}
+	d.Pos.Filename = "f.go"
+	d.Pos.Line = 10
+	mk := func(line int, rule string) suppression {
+		return suppression{file: "f.go", line: line, rules: map[string]bool{rule: true}}
+	}
+	cases := []struct {
+		sup  suppression
+		want bool
+	}{
+		{mk(10, "floatcompare"), true},
+		{mk(9, "floatcompare"), true},
+		{mk(8, "floatcompare"), false},
+		{mk(11, "floatcompare"), false},
+		{mk(10, "guarded"), false},
+		{mk(10, "all"), true},
+	}
+	for i, tc := range cases {
+		if got := suppressed(d, []suppression{tc.sup}); got != tc.want {
+			t.Errorf("case %d: suppressed = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+// TestLoadErrors pins loader failure modes.
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(".", "no/such/dir"); err == nil {
+		t.Error("Load of a missing directory should fail")
+	}
+	if _, err := Load(".", "../../../outside"); err == nil {
+		t.Error("Load escaping the module root should fail")
+	}
+}
+
+// TestDiagnosticString pins the report format tools and editors parse.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "guarded", Message: "m"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "a/b.go:3:7: guarded: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := fmt.Sprint(d); got != d.String() {
+		t.Errorf("Sprint mismatch: %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// simulatorPackages are the packages that model the SP2 and its campaign.
+// They must be exactly reproducible from a seed: nine months of simulated
+// sampling cannot be validated against the paper's tables if a run depends
+// on wall-clock time or on math/rand's unspecified, version-dependent
+// stream. Matched by package name so the testdata fixtures exercise the
+// rule without living under internal/.
+var simulatorPackages = map[string]bool{
+	"power2":   true,
+	"cluster":  true,
+	"hpm":      true,
+	"workload": true,
+	"mpi":      true,
+	"hps":      true,
+	"vm":       true,
+	"tlb":      true,
+	"cache":    true,
+}
+
+// wallClockFuncs are the time-package functions that read or depend on the
+// wall clock (or a runtime timer). Simulator code must use
+// internal/simclock instead.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+// NondeterminismAnalyzer flags wall-clock time and global math/rand use in
+// simulator packages.
+func NondeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nondeterminism",
+		Doc:  "simulator packages must use internal/simclock and internal/rng, never wall time or math/rand",
+		Run:  runNondeterminism,
+	}
+}
+
+func runNondeterminism(p *Package) []Diagnostic {
+	if !simulatorPackages[p.Name] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(imp.Pos()),
+					Rule: "nondeterminism",
+					Message: fmt.Sprintf("simulator package %s imports %s; its stream is unspecified across Go releases — use internal/rng (seeded xoshiro256**)",
+						p.Name, path),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(sel.Pos()),
+					Rule: "nondeterminism",
+					Message: fmt.Sprintf("simulator package %s calls time.%s; wall time makes campaign runs irreproducible — use internal/simclock",
+						p.Name, sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

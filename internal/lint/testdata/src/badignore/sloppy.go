@@ -1,0 +1,10 @@
+// Package stats is a fixture showing that suppressions without a reason
+// do not suppress anything and are themselves reported.
+package stats
+
+// Reasonless carries a suppression with no justification: the suppression
+// is reported as badignore AND the float comparison is still reported.
+func Reasonless(a, b float64) bool {
+	//hpmlint:ignore floatcompare
+	return a == b
+}

@@ -1,0 +1,39 @@
+// Package counters is a violation fixture for the counterwidth analyzer:
+// raw uint32 arithmetic on register values silently corrupts counts across
+// a 32-bit wrap, and raw ordering comparisons answer wrongly across one.
+package counters
+
+// Register is a named 32-bit counter type, as a simulated SCU register
+// would be; the analyzer sees through the name to the underlying width.
+type Register uint32
+
+// BadDelta subtracts raw registers instead of using hpm.Sub.
+func BadDelta(before, after uint32) uint64 {
+	d := after - before // want `raw "-" arithmetic on uint32`
+	if after < before { // want `raw "<" comparison on uint32`
+		d = 0
+	}
+	return uint64(d)
+}
+
+// BadAccumulate grows a 32-bit total in place.
+func BadAccumulate(regs []Register) Register {
+	var total Register
+	for _, r := range regs {
+		total += r // want `raw "\+=" arithmetic on uint32`
+	}
+	total++ // want `raw "\+\+" arithmetic on uint32`
+	return total
+}
+
+// WidenedDelta is fine: both operands are widened to 64 bits first, which
+// is what the sanctioned helpers do after wrap-correcting.
+func WidenedDelta(before, after uint64) uint64 {
+	return after - before
+}
+
+// Approved shows a suppression carrying its mandatory reason.
+func Approved(a, b uint32) uint32 {
+	//hpmlint:ignore counterwidth fixture demonstrating an approved wrap-relying subtraction
+	return a - b
+}

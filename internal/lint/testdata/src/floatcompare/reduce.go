@@ -1,0 +1,40 @@
+// Package analysis is a violation fixture for the floatcompare analyzer:
+// it is named like a statistics package and compares floats exactly.
+package analysis
+
+// Same compares two computed values exactly.
+func Same(a, b float64) bool {
+	return a == b // want `"==" on floating-point values`
+}
+
+// Changed compares a 32-bit float exactly.
+func Changed(prev, cur float32) bool {
+	return prev != cur // want `"!=" on floating-point values`
+}
+
+// MatchesMean compares a computed reduction exactly.
+func MatchesMean(xs []float64, want float64) bool {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum/float64(len(xs)) == want // want `"==" on floating-point values`
+}
+
+// Close is the sanctioned form: an epsilon comparison.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// IntEqual is fine: integers compare exactly.
+func IntEqual(a, b int) bool { return a == b }
+
+// Approved shows a suppression carrying its mandatory reason.
+func Approved(a float64) bool {
+	//hpmlint:ignore floatcompare fixture demonstrating an approved exact-zero guard
+	return a == 0
+}

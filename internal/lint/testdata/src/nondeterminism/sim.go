@@ -1,0 +1,34 @@
+// Package power2 is a violation fixture for the nondeterminism analyzer:
+// it is named like a simulator package and reaches for wall-clock time and
+// the global math/rand stream, both of which make a campaign run
+// irreproducible.
+package power2
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+// Elapsed uses the wall clock twice over.
+func Elapsed() float64 {
+	start := time.Now()          // want `calls time\.Now`
+	d := time.Since(start)       // want `calls time\.Since`
+	time.Sleep(time.Millisecond) // want `calls time\.Sleep`
+	return d.Seconds()
+}
+
+// Jitter draws from the unseeded global stream.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Window is fine: time.Duration is a type, not a clock reading.
+func Window(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// Approved shows a suppression carrying its mandatory reason.
+func Approved() time.Time {
+	//hpmlint:ignore nondeterminism fixture demonstrating an approved wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,45 @@
+// Package unitsmix is a violation fixture for the unitsmixing analyzer:
+// basic-type conversions stripping two different dimensioned types, then
+// combining them.
+package unitsmix
+
+import (
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+// CyclesPlusSeconds is the classic mistake the units package exists to
+// prevent, smuggled past the compiler with float64 conversions.
+func CyclesPlusSeconds(c units.Cycles, t simclock.Time) float64 {
+	return float64(c) + float64(t) // want `"\+" mixes units\.Cycles and simclock\.Time`
+}
+
+// CyclesBeforeBytes orders two unrelated dimensions.
+func CyclesBeforeBytes(c units.Cycles, b units.Bytes) bool {
+	return uint64(c) < uint64(b) // want `"<" mixes units\.Cycles and units\.Bytes`
+}
+
+// FlopsMinusRate subtracts through a double conversion chain.
+func FlopsMinusRate(f units.Flops, r units.Rate) float64 {
+	return float64(uint64(f)) - float64(r) // want `"-" mixes units\.Flops and units\.Rate`
+}
+
+// SameDimension is fine: both sides are cycles.
+func SameDimension(a, b units.Cycles) units.Cycles { return a + b }
+
+// ExplicitConversion is the sanctioned form: the seconds are converted to
+// cycles before the addition, so the dimensions line up.
+func ExplicitConversion(c units.Cycles, t simclock.Time) units.Cycles {
+	return c + units.FromSeconds(t.Seconds())
+}
+
+// RateBuilding is fine: dividing a count by a time is how rates are made.
+func RateBuilding(c units.Cycles, t simclock.Time) float64 {
+	return float64(c) / float64(t)
+}
+
+// Approved shows a suppression carrying its mandatory reason.
+func Approved(c units.Cycles, t simclock.Time) float64 {
+	//hpmlint:ignore unitsmixing fixture demonstrating an approved mixed comparison
+	return float64(c) + float64(t)
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitsMixingAnalyzer flags arithmetic that combines two *different*
+// dimensioned quantities after stripping their named types.
+//
+// internal/units gives cycles, flops, bytes and rates distinct named types
+// precisely so the compiler rejects `cycles + bytes`. The hole in that
+// protection is a basic-type conversion: `uint64(cyc) + uint64(b)` or
+// `float64(cyc) < float64(t)` compile fine and silently mix dimensions —
+// the classic cycles-vs-seconds mistake the units package exists to
+// prevent. This rule traces each operand of +, -, and the comparison
+// operators through basic conversions back to a named unit type and
+// reports when the two sides disagree. Converting *between* unit types
+// (e.g. units.FromSeconds, or Cycles(x) applied to a dimensionless value)
+// stays legal: that is the explicit conversion the rule asks for.
+func UnitsMixingAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unitsmixing",
+		Doc:  "do not add/compare two different units (cycles, seconds, bytes, ...) via basic-type conversions",
+		Run:  runUnitsMixing,
+	}
+}
+
+// unitTypeName reports the qualified name of a dimensioned named type, or
+// "" for anything else. The dimensioned types are those of internal/units
+// plus simclock.Time (seconds).
+func unitTypeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "internal/units"):
+		switch obj.Name() {
+		case "Cycles", "Flops", "Bytes", "Rate":
+			return "units." + obj.Name()
+		}
+	case strings.HasSuffix(path, "internal/simclock"):
+		if obj.Name() == "Time" {
+			return "simclock.Time"
+		}
+	}
+	return ""
+}
+
+// mixingOps are the operators where mixing dimensions is meaningless.
+// Multiplication and division are excluded: dividing cycles by seconds is
+// how rates are built.
+var mixingOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+func runUnitsMixing(p *Package) []Diagnostic {
+	// provenance traces an expression back to a dimensioned type: either
+	// it has one directly, or it is a chain of basic-type conversions
+	// applied to one.
+	var provenance func(e ast.Expr) string
+	provenance = func(e ast.Expr) string {
+		e = ast.Unparen(e)
+		if u := unitTypeName(p.Info.TypeOf(e)); u != "" {
+			return u
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return ""
+		}
+		// A conversion whose target is a plain basic type strips the
+		// dimension without changing the quantity — keep tracing.
+		tv, ok := p.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return ""
+		}
+		if _, basic := tv.Type.Underlying().(*types.Basic); !basic {
+			return ""
+		}
+		if unitTypeName(tv.Type) != "" {
+			// Conversion *to* a unit type is the sanctioned explicit form.
+			return ""
+		}
+		return provenance(call.Args[0])
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !mixingOps[be.Op] {
+				return true
+			}
+			ux, uy := provenance(be.X), provenance(be.Y)
+			if ux == "" || uy == "" || ux == uy {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(be.Pos()),
+				Rule: "unitsmixing",
+				Message: fmt.Sprintf("%q mixes %s and %s; convert explicitly (e.g. Seconds(), FromSeconds) so the dimensions line up",
+					be.Op.String(), ux, uy),
+			})
+			return true
+		})
+	}
+	return diags
+}

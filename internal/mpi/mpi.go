@@ -41,18 +41,19 @@ type World struct {
 	net   *hps.Network
 	nodes []*node.Node
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	queues      map[srcDst][]message
-	totalQueued int
-	waiting     int
-	size        int
+	mu   sync.Mutex
+	cond *sync.Cond // signals queue/barrier state changes; created in NewWorld
 
-	barrierCount int
-	barrierEpoch uint64
-	barrierTime  float64
-	releaseTime  float64 // barrierTime snapshot at the last release
-	finished     int     // ranks whose body has returned
+	queues      map[srcDst][]message // guarded by mu
+	totalQueued int                  // guarded by mu
+	waiting     int                  // guarded by mu
+	size        int                  // immutable after NewWorld
+
+	barrierCount int     // guarded by mu
+	barrierEpoch uint64  // guarded by mu
+	barrierTime  float64 // guarded by mu
+	releaseTime  float64 // guarded by mu; barrierTime snapshot at the last release
+	finished     int     // guarded by mu; ranks whose body has returned
 
 	lastRanks []*Rank
 }

@@ -24,11 +24,11 @@ type Server struct {
 	capacity uint64
 
 	mu    sync.Mutex
-	used  uint64
-	files map[string]uint64
+	used  uint64            // guarded by mu
+	files map[string]uint64 // guarded by mu
 
-	bytesIn  uint64 // writes received
-	bytesOut uint64 // reads served
+	bytesIn  uint64 // guarded by mu; writes received
+	bytesOut uint64 // guarded by mu; reads served
 }
 
 // NodeID implements hps.Adapter.

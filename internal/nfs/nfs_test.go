@@ -2,6 +2,7 @@ package nfs
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/hpm"
@@ -149,5 +150,40 @@ func TestServerTrafficTallies(t *testing.T) {
 	s.mu.Unlock()
 	if in != 6400 || out != 6400 {
 		t.Fatalf("server traffic = %d/%d", in, out)
+	}
+}
+
+// TestConcurrentClientsDoNotRace hammers the mount from several client
+// nodes at once — writes, reads, stats, listings — the access pattern of
+// many users' home directories. Run under -race this pins the per-server
+// mutex discipline.
+func TestConcurrentClientsDoNotRace(t *testing.T) {
+	m, _, _ := mountWithNodes(t, 4, SP2Config())
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("/home/u%d/f%d", c, i%10)
+				if _, err := m.Write(c, path, 4096); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, _, err := m.Read(c, path); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				m.Stat(path)
+				m.TotalUsed()
+				if i%50 == 0 {
+					m.List()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got, want := len(m.List()), 4*10; got != want {
+		t.Fatalf("List() = %d files, want %d", got, want)
 	}
 }

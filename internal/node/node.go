@@ -33,9 +33,9 @@ type Config struct {
 // from the simulation goroutine only.
 type Node struct {
 	id   int
-	cpu  *power2.CPU
+	cpu  *power2.CPU // driven from the simulation goroutine, under mu
 	disk *Disk
-	acc  *hpm.Accumulator // the daemon's extended 64-bit counter view
+	acc  *hpm.Accumulator // guarded by mu; the daemon's extended 64-bit counter view
 
 	mu sync.Mutex // guards monitor access for cross-goroutine snapshots
 }
@@ -170,13 +170,15 @@ func (n *Node) ResetMonitor() {
 // Disk is the node's local disk plus its NFS path to the home filesystems:
 // a capacity bookkeeping device whose traffic also appears in the DMA
 // counters (the paper notes disk traffic shows up in the DMA read/write
-// system report).
+// system report). Safe for concurrent use: the simulation goroutine and
+// campaign bookkeeping may touch it from different goroutines.
 type Disk struct {
-	capacity uint64
-	used     uint64
+	capacity uint64 // immutable after NewDisk
 
-	readBytes  uint64
-	writeBytes uint64
+	mu         sync.Mutex
+	used       uint64 // guarded by mu
+	readBytes  uint64 // guarded by mu
+	writeBytes uint64 // guarded by mu
 }
 
 // NewDisk builds a disk with the given capacity.
@@ -188,10 +190,16 @@ func NewDisk(capacity uint64) *Disk {
 func (d *Disk) Capacity() uint64 { return d.capacity }
 
 // Used returns allocated bytes.
-func (d *Disk) Used() uint64 { return d.used }
+func (d *Disk) Used() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
 
 // Allocate reserves space, failing when the disk would overflow.
 func (d *Disk) Allocate(bytes uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.used+bytes > d.capacity {
 		return fmt.Errorf("node: disk full: %d + %d > %d", d.used, bytes, d.capacity)
 	}
@@ -201,6 +209,8 @@ func (d *Disk) Allocate(bytes uint64) error {
 
 // Release frees space (clamped at zero).
 func (d *Disk) Release(bytes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if bytes > d.used {
 		bytes = d.used
 	}
@@ -209,12 +219,16 @@ func (d *Disk) Release(bytes uint64) {
 
 // RecordIO accumulates raw traffic counters.
 func (d *Disk) RecordIO(readBytes, writeBytes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.readBytes += readBytes
 	d.writeBytes += writeBytes
 }
 
 // Traffic reports accumulated read/write bytes.
 func (d *Disk) Traffic() (readBytes, writeBytes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.readBytes, d.writeBytes
 }
 

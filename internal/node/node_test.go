@@ -181,3 +181,41 @@ func TestAddIOWaitInvisibleUnderNAS(t *testing.T) {
 		t.Fatalf("I/O wait leaked into NAS-selected counters: %d", total)
 	}
 }
+
+// TestConcurrentDiskTrafficDoesNotRace drives disk bookkeeping from
+// several goroutines at once, as campaign bookkeeping and the simulation
+// goroutine may: the traffic counters and allocation must be guarded.
+func TestConcurrentDiskTrafficDoesNotRace(t *testing.T) {
+	n := testNode(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n.DiskIO(128, 64)
+				n.Disk().Traffic()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := n.Disk().Allocate(16); err != nil {
+					t.Errorf("allocate: %v", err)
+					return
+				}
+				n.Disk().Release(16)
+				n.Disk().Used()
+			}
+		}()
+	}
+	wg.Wait()
+	r, w := n.Disk().Traffic()
+	if r != 4*500*128 || w != 4*500*64 {
+		t.Fatalf("Traffic() = %d, %d", r, w)
+	}
+	if n.Disk().Used() != 0 {
+		t.Fatalf("Used() = %d after balanced alloc/release", n.Disk().Used())
+	}
+}

@@ -48,16 +48,17 @@ type Armer interface {
 // serving many keeps tests cheap without changing the protocol).
 type Daemon struct {
 	mu      sync.Mutex
-	sources map[int]Source
-	ln      net.Listener
+	sources map[int]Source // guarded by mu
+	ln      net.Listener   // guarded by mu
 	wg      sync.WaitGroup
-	closed  bool
+	closed  bool // guarded by mu
 }
 
 // NewDaemon builds a daemon fronting the given sources.
 func NewDaemon(sources ...Source) *Daemon {
 	d := &Daemon{sources: make(map[int]Source, len(sources))}
 	for _, s := range sources {
+		//hpmlint:ignore guarded construction precedes publication; no other goroutine can hold d yet
 		d.sources[s.NodeID()] = s
 	}
 	return d
@@ -346,7 +347,7 @@ type Sample struct {
 // It is the in-memory form of the files the 15-minute cron job wrote.
 type SampleLog struct {
 	mu      sync.Mutex
-	samples map[int][]Sample // per node, in time order
+	samples map[int][]Sample // guarded by mu; per node, in time order
 }
 
 // NewSampleLog returns an empty log.

@@ -447,3 +447,58 @@ func TestScheduledCollectionErrorHandler(t *testing.T) {
 		t.Fatalf("error handler invoked %d times, want 2", errs)
 	}
 }
+
+// TestCollectorConcurrentWithSimulation runs the 15-minute collector loop
+// against a daemon whose sources are being driven hard by a "simulation"
+// goroutine, while new nodes boot mid-campaign. This is the deployment
+// shape of the paper's measurement stack; under -race it pins the
+// daemon's source-table and the log's sample-table locking.
+func TestCollectorConcurrentWithSimulation(t *testing.T) {
+	srcs := make([]*fakeSource, 4)
+	sources := make([]Source, 4)
+	for i := range srcs {
+		srcs[i] = newFakeSource(i)
+		sources[i] = srcs[i]
+	}
+	d, addr := startDaemon(t, sources...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the simulation: counters advance while sampling runs
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srcs[i%len(srcs)].add(hpm.EvCycles, 1000)
+		}
+	}()
+	wg.Add(1)
+	go func() { // mid-campaign boots
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			d.AddSource(newFakeSource(100 + i))
+		}
+	}()
+
+	log := NewSampleLog()
+	col := NewCollector(addr, log)
+	for tick := 1; tick <= 5; tick++ {
+		if err := col.CollectOnce(float64(tick) * 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := len(log.Nodes()); got < 4 {
+		t.Fatalf("collected %d nodes, want >= 4", got)
+	}
+	for _, id := range []int{0, 1, 2, 3} {
+		if log.Len(id) != 5 {
+			t.Fatalf("node %d has %d samples, want 5", id, log.Len(id))
+		}
+	}
+}

@@ -144,6 +144,7 @@ func WeightedMean(xs, ws []float64) float64 {
 		num += x * ws[i]
 		den += ws[i]
 	}
+	//hpmlint:ignore floatcompare exact zero guards the division; weights of exactly zero carry no information
 	if den == 0 {
 		return 0
 	}
@@ -277,6 +278,7 @@ func Correlation(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//hpmlint:ignore floatcompare degenerate input (all values equal) sums to exactly 0.0
 	if sxx == 0 || syy == 0 {
 		return 0
 	}
@@ -299,6 +301,7 @@ func LinearFit(xs, ys []float64) (slope, intercept float64) {
 		sxy += dx * (ys[i] - my)
 		sxx += dx * dx
 	}
+	//hpmlint:ignore floatcompare degenerate input (all xs equal) sums to exactly 0.0
 	if sxx == 0 {
 		return 0, my
 	}
