@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fixtures ci
+.PHONY: build test race vet lint lint-fixtures bench ci
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,10 @@ lint:
 # quiet is worse than no linter.
 lint-fixtures:
 	! $(GO) run ./cmd/hpmlint ./internal/lint/testdata/src/...
+
+# One pass over every paper benchmark; the human-readable run streams to
+# the terminal and the parsed table lands in BENCH_campaign.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_campaign.json
 
 ci: build vet test race lint lint-fixtures

@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -38,12 +39,24 @@ var (
 func campaign(b *testing.B) workload.Result {
 	b.Helper()
 	campOnce.Do(func() {
-		campStd = profile.MeasureStandard(1)
+		campStd = profile.MeasureStandardWorkers(1, runtime.NumCPU())
 		cfg := workload.DefaultConfig(1)
 		cfg.Days = 40
+		cfg.Workers = runtime.NumCPU()
 		campRes = workload.NewCampaign(cfg, workload.DefaultMix(campStd)).Run()
 	})
 	return campRes
+}
+
+// benchWorkerCounts is the engine-parallelism axis for the staged-engine
+// benches: serial plus full-parallel, collapsed to one point on a 1-CPU
+// machine.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 // printOnce prints an artifact exactly once across a bench's iterations.
@@ -301,14 +314,32 @@ func BenchmarkCPUSimulation(b *testing.B) {
 }
 
 // BenchmarkCampaignDay measures one simulated day of the full campaign
-// (job generation, PBS scheduling, profile extrapolation, daily reduction).
+// (job generation, PBS scheduling, profile extrapolation, daily reduction)
+// at serial and full-parallel engine settings; the Result is bit-identical
+// at every setting, so the sub-benchmarks differ only in wall-clock.
 func BenchmarkCampaignDay(b *testing.B) {
 	campaign(b) // ensure profiles measured
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg := workload.DefaultConfig(uint64(i) + 2)
-		cfg.Days = 1
-		workload.NewCampaign(cfg, workload.DefaultMix(campStd)).Run()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultConfig(uint64(i) + 2)
+				cfg.Days = 1
+				cfg.Workers = workers
+				workload.NewCampaign(cfg, workload.DefaultMix(campStd)).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureStandard measures the six-kernel profile stage, the
+// other half of the staged engine's parallel surface.
+func BenchmarkMeasureStandard(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				profile.MeasureStandardWorkers(uint64(i)+1, workers)
+			}
+		})
 	}
 }
 

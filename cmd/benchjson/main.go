@@ -1,0 +1,139 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON table. It reads the benchmark run from stdin, passes every line
+// through to stdout unchanged (so the human-readable run is still visible),
+// and writes the parsed table to the -o file:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -o BENCH_campaign.json
+//
+// Each benchmark entry records the name (procs suffix stripped), iteration
+// count, ns/op, and every custom metric the benchmark reported via
+// b.ReportMetric — the paper-anchored quantities the top-level bench
+// harness emits next to each table and figure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkCampaignDay/workers=4-8  1  123456 ns/op  1.30 mean-Gflops
+//
+// Fields after the iteration count come in value/unit pairs; ns/op is
+// pulled out, everything else lands in Metrics keyed by unit.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// parseHeader records the run environment lines go test prints before the
+// first benchmark ("goos: linux" and friends).
+func parseHeader(r *Report, line string) {
+	for _, h := range []struct {
+		prefix string
+		dst    *string
+	}{
+		{"goos: ", &r.Goos},
+		{"goarch: ", &r.Goarch},
+		{"pkg: ", &r.Pkg},
+		{"cpu: ", &r.CPU},
+	} {
+		if strings.HasPrefix(line, h.prefix) {
+			*h.dst = strings.TrimPrefix(line, h.prefix)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_campaign.json", "write the parsed benchmark table here")
+	flag.Parse()
+
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		} else {
+			parseHeader(&rep, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkCampaignDay/workers=4-8  \t 3 \t 123456 ns/op \t 1.30 mean-Gflops[paper=1.3]")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if b.Name != "CampaignDay/workers=4" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 3 || math.Abs(b.NsPerOp-123456) > 0.5 {
+		t.Errorf("iters/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if v := b.Metrics["mean-Gflops[paper=1.3]"]; math.Abs(v-1.3) > 1e-9 {
+		t.Errorf("metric = %v", v)
+	}
+}
+
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkTable1CounterSelection 100 50 ns/op")
+	if !ok || b.Name != "Table1CounterSelection" || b.Procs != 1 {
+		t.Fatalf("got %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.2s",
+		"BenchmarkBroken not-a-number 5 ns/op",
+		"Benchmark", // too few fields
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	var r Report
+	for _, line := range []string{"goos: linux", "goarch: amd64", "pkg: repro", "cpu: POWER2 (simulated)"} {
+		parseHeader(&r, line)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" || r.CPU != "POWER2 (simulated)" {
+		t.Fatalf("header = %+v", r)
+	}
+}

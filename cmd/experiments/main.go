@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/profile"
@@ -25,6 +26,7 @@ func main() {
 	days := flag.Int("days", 270, "campaign length when running fresh")
 	nodes := flag.Int("nodes", 144, "cluster size when running fresh")
 	seed := flag.Uint64("seed", 1, "seed when running fresh")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines (1 = serial; results are seed-identical at any setting)")
 	all := flag.Bool("all", false, "emit every table and figure")
 	t1 := flag.Bool("table1", false, "Table 1: the 22-counter selection")
 	t2 := flag.Bool("table2", false, "Table 2: major rates over >2 Gflops days")
@@ -53,12 +55,13 @@ func main() {
 		}
 		fmt.Printf("loaded %d-day campaign from %s\n\n", len(res.Days), *tracePath)
 	} else {
-		fmt.Printf("measuring kernel profiles and running a %d-day campaign on %d nodes (seed %d)...\n\n",
-			*days, *nodes, *seed)
-		std := profile.MeasureStandard(*seed)
+		fmt.Printf("measuring kernel profiles and running a %d-day campaign on %d nodes (seed %d, %d workers)...\n\n",
+			*days, *nodes, *seed, *workers)
+		std := profile.MeasureStandardWorkers(*seed, *workers)
 		cfg := workload.DefaultConfig(*seed)
 		cfg.Days = *days
 		cfg.Nodes = *nodes
+		cfg.Workers = *workers
 		res = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
 	}
 

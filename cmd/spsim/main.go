@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	spsim [-days 270] [-nodes 144] [-seed 1] [-v] [-o db.json.gz] [-csv jobs.csv]
+//	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-o db.json.gz] [-csv jobs.csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/profile"
@@ -20,10 +21,23 @@ import (
 	"repro/internal/workload"
 )
 
+// dayPrinter is a streaming reducer that prints each day as the campaign
+// closes it, instead of waiting for the full Result.
+type dayPrinter struct{ nodes int }
+
+func (p dayPrinter) ReduceDay(d workload.Day) {
+	r := d.PerNodeRates(p.nodes)
+	fmt.Printf("day %3d  %5.2f Gflops  util %4.1f%%  mflops/node %5.2f  sys/user-fxu %4.2f\n",
+		d.Index, d.Gflops(), 100*d.Utilization(p.nodes), r.MflopsAll, d.SystemUserFXURatio())
+}
+
+func (dayPrinter) Finish(workload.Final) {}
+
 func main() {
 	days := flag.Int("days", 270, "campaign length in days")
 	nodes := flag.Int("nodes", 144, "cluster size")
 	seed := flag.Uint64("seed", 1, "campaign random seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines (1 = serial; results are seed-identical at any setting)")
 	verbose := flag.Bool("v", false, "print per-day detail")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
@@ -32,11 +46,18 @@ func main() {
 	cfg := workload.DefaultConfig(*seed)
 	cfg.Days = *days
 	cfg.Nodes = *nodes
+	cfg.Workers = *workers
 
 	fmt.Printf("measuring kernel profiles...\n")
-	std := profile.MeasureStandard(*seed)
-	fmt.Printf("running %d-day campaign on %d nodes...\n", cfg.Days, cfg.Nodes)
-	res := workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+	std := profile.MeasureStandardWorkers(*seed, *workers)
+	fmt.Printf("running %d-day campaign on %d nodes (%d workers)...\n", cfg.Days, cfg.Nodes, *workers)
+	var rr workload.ResultReducer
+	red := workload.Reducer(&rr)
+	if *verbose {
+		red = workload.TeeReducer{dayPrinter{cfg.Nodes}, &rr}
+	}
+	workload.NewCampaign(cfg, workload.DefaultMix(std)).RunInto(red)
+	res := rr.Result()
 
 	if *out != "" {
 		if err := trace.WriteFile(*out, res); err != nil {
@@ -57,11 +78,6 @@ func main() {
 	for _, d := range res.Days {
 		gflops = append(gflops, d.Gflops())
 		utils = append(utils, d.Utilization(cfg.Nodes))
-		if *verbose {
-			r := d.PerNodeRates(cfg.Nodes)
-			fmt.Printf("day %3d  %5.2f Gflops  util %4.1f%%  mflops/node %5.2f  sys/user-fxu %4.2f\n",
-				d.Index, d.Gflops(), 100*d.Utilization(cfg.Nodes), r.MflopsAll, d.SystemUserFXURatio())
-		}
 	}
 
 	fmt.Printf("\n=== campaign summary (paper values in brackets) ===\n")

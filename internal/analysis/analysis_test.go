@@ -11,19 +11,26 @@ import (
 )
 
 var (
-	resOnce sync.Once
-	res     workload.Result
+	resOnce   sync.Once
+	res       workload.Result
+	resStream *Stream
 )
 
 // campaign runs a 45-day campaign once for the whole test package; long
-// enough for every figure to have a populated sample.
+// enough for every figure to have a populated sample. The reduction is
+// teed into both the batch Result and the streaming collector so the two
+// analysis paths can be cross-checked against the same run.
 func campaign(t *testing.T) workload.Result {
 	t.Helper()
 	resOnce.Do(func() {
 		cfg := workload.DefaultConfig(11)
 		cfg.Days = 45
 		std := profile.MeasureStandard(11)
-		res = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+		var rr workload.ResultReducer
+		resStream = NewStream(cfg.Nodes)
+		workload.NewCampaign(cfg, workload.DefaultMix(std)).
+			RunInto(workload.TeeReducer{&rr, resStream})
+		res = rr.Result()
 	})
 	return res
 }
@@ -210,6 +217,49 @@ func TestFigure1(t *testing.T) {
 	s := f.Render()
 	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "moving avg") {
 		t.Fatal("Figure 1 render broken")
+	}
+}
+
+func TestStreamMatchesBatchFigure1(t *testing.T) {
+	batch := ComputeFigure1(campaign(t))
+	streamed := resStream.Figure1()
+	if resStream.Days() != len(campaign(t).Days) {
+		t.Fatalf("stream saw %d days, result has %d", resStream.Days(), len(campaign(t).Days))
+	}
+	sameSeries := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: series lengths %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("%s[%d]: stream %v vs batch %v", name, i, a[i], b[i])
+			}
+		}
+	}
+	sameSeries("DailyGflops", streamed.DailyGflops, batch.DailyGflops)
+	sameSeries("Utilization", streamed.Utilization, batch.Utilization)
+	sameSeries("MovingAvg", streamed.MovingAvg, batch.MovingAvg)
+	sameSeries("UtilAvg", streamed.UtilAvg, batch.UtilAvg)
+	for _, p := range []struct {
+		name string
+		s, b float64
+	}{
+		{"MeanGflops", streamed.MeanGflops, batch.MeanGflops},
+		{"MaxGflops", streamed.MaxGflops, batch.MaxGflops},
+		{"MeanUtil", streamed.MeanUtil, batch.MeanUtil},
+		{"MaxUtil", streamed.MaxUtil, batch.MaxUtil},
+	} {
+		if math.Abs(p.s-p.b) > 1e-12 {
+			t.Errorf("%s: stream %v vs batch %v", p.name, p.s, p.b)
+		}
+	}
+	fin := resStream.Final()
+	if math.Abs(fin.MaxGflops15min-campaign(t).MaxGflops15min) > 1e-12 {
+		t.Errorf("Final.MaxGflops15min %v vs Result %v", fin.MaxGflops15min, campaign(t).MaxGflops15min)
+	}
+	if len(fin.Records) != len(campaign(t).Records) {
+		t.Errorf("Final carried %d records, Result %d", len(fin.Records), len(campaign(t).Records))
 	}
 }
 

@@ -28,11 +28,19 @@ const movingWindow = 14
 
 // ComputeFigure1 builds the daily series.
 func ComputeFigure1(res workload.Result) Figure1Data {
-	var f Figure1Data
+	var daily, util []float64
 	for _, d := range res.Days {
-		f.DailyGflops = append(f.DailyGflops, d.Gflops())
-		f.Utilization = append(f.Utilization, d.Utilization(res.Config.Nodes))
+		daily = append(daily, d.Gflops())
+		util = append(util, d.Utilization(res.Config.Nodes))
 	}
+	return figure1FromSeries(daily, util)
+}
+
+// figure1FromSeries finishes Figure 1 from the per-day series — shared by
+// the Result path above and the streaming collector (Stream), which feeds
+// the same arithmetic one day at a time.
+func figure1FromSeries(daily, util []float64) Figure1Data {
+	f := Figure1Data{DailyGflops: daily, Utilization: util}
 	f.MovingAvg = stats.MovingAverage(f.DailyGflops, movingWindow)
 	f.UtilAvg = stats.MovingAverage(f.Utilization, movingWindow)
 	f.MeanGflops = stats.Mean(f.DailyGflops)

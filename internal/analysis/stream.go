@@ -1,0 +1,62 @@
+package analysis
+
+import "repro/internal/workload"
+
+// Stream consumes a campaign's reduction stream (it implements
+// workload.Reducer) and computes the system performance history online:
+// each Day is reduced to its Figure 1 series points on arrival and the
+// counter delta is dropped, so a nine-month campaign can be analysed
+// without ever holding the full Result — the shape the production
+// monitoring pipelines this repo grows toward (per-job HPM collection
+// feeding a rolling aggregation) require.
+//
+//	st := analysis.NewStream(cfg.Nodes)
+//	workload.NewCampaign(cfg, mix).RunInto(st)
+//	fmt.Print(st.Figure1().Render())
+type Stream struct {
+	nodes int
+
+	daily []float64 // Gflops per day
+	util  []float64 // utilisation per day
+
+	final    workload.Final
+	finished bool
+}
+
+// NewStream returns a streaming collector for a campaign on the given
+// cluster size.
+func NewStream(nodes int) *Stream {
+	return &Stream{nodes: nodes}
+}
+
+// ReduceDay folds one day into the running series.
+func (s *Stream) ReduceDay(d workload.Day) {
+	s.daily = append(s.daily, d.Gflops())
+	s.util = append(s.util, d.Utilization(s.nodes))
+}
+
+// Finish records the end-of-campaign aggregates.
+func (s *Stream) Finish(f workload.Final) {
+	s.final = f
+	s.finished = true
+}
+
+// Days reports how many days have streamed in.
+func (s *Stream) Days() int { return len(s.daily) }
+
+// Final returns the end-of-campaign aggregates; valid once the campaign
+// has called Finish.
+func (s *Stream) Final() workload.Final {
+	if !s.finished {
+		panic("analysis: Stream.Final before the campaign finished")
+	}
+	return s.final
+}
+
+// Figure1 assembles the Figure 1 data from the streamed series. It may be
+// called mid-campaign for a partial view or after Finish for the full one.
+func (s *Stream) Figure1() Figure1Data {
+	return figure1FromSeries(
+		append([]float64(nil), s.daily...),
+		append([]float64(nil), s.util...))
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis"
@@ -29,11 +30,15 @@ import (
 )
 
 // Config selects the campaign scale. Zero values choose the paper's
-// parameters (270 days, 144 nodes).
+// parameters (270 days, 144 nodes) with one engine worker per CPU.
 type Config struct {
 	Days  int
 	Nodes int
 	Seed  uint64
+	// Workers is the parallelism for profile measurement and the campaign
+	// engine; zero picks GOMAXPROCS, 1 forces the serial engine. Results
+	// are bit-identical for every value.
+	Workers int
 }
 
 // System is a configured reproduction: measured kernel profiles plus the
@@ -53,7 +58,10 @@ func New(cfg Config) *System {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = units.NodeCount
 	}
-	std := profile.MeasureStandard(cfg.Seed)
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	std := profile.MeasureStandardWorkers(cfg.Seed, cfg.Workers)
 	return &System{cfg: cfg, std: std, mix: workload.DefaultMix(std)}
 }
 
@@ -65,12 +73,19 @@ func (s *System) CampaignConfig() workload.Config {
 	wc := workload.DefaultConfig(s.cfg.Seed)
 	wc.Days = s.cfg.Days
 	wc.Nodes = s.cfg.Nodes
+	wc.Workers = s.cfg.Workers
 	return wc
 }
 
 // RunCampaign executes the measurement window and returns its reduction.
 func (s *System) RunCampaign() workload.Result {
 	return workload.NewCampaign(s.CampaignConfig(), s.mix).Run()
+}
+
+// RunCampaignInto executes the measurement window, streaming the
+// reduction into red (see workload.Reducer).
+func (s *System) RunCampaignInto(red workload.Reducer) {
+	workload.NewCampaign(s.CampaignConfig(), s.mix).RunInto(red)
 }
 
 // MeasureKernel micro-simulates a registered kernel on a fresh SP2 node

@@ -64,14 +64,18 @@ func parseWants(t *testing.T, dir string) []*want {
 // code and suppressed violations, so a pass proves both directions.
 func TestAnalyzerGolden(t *testing.T) {
 	cases := []struct {
-		fixture  string
-		analyzer *Analyzer
+		fixture   string
+		analyzers []*Analyzer
 	}{
-		{"nondeterminism", NondeterminismAnalyzer()},
-		{"counterwidth", CounterWidthAnalyzer()},
-		{"guarded", GuardedStateAnalyzer()},
-		{"floatcompare", FloatCompareAnalyzer()},
-		{"unitsmixing", UnitsMixingAnalyzer()},
+		{"nondeterminism", []*Analyzer{NondeterminismAnalyzer()}},
+		{"counterwidth", []*Analyzer{CounterWidthAnalyzer()}},
+		{"guarded", []*Analyzer{GuardedStateAnalyzer()}},
+		{"floatcompare", []*Analyzer{FloatCompareAnalyzer()}},
+		{"unitsmixing", []*Analyzer{UnitsMixingAnalyzer()}},
+		// The worker-pool fixture is checked by two analyzers at once, the
+		// way the production engine is: guarded for the pool's shared
+		// counters, nondeterminism for wall-clock reads.
+		{"enginepool", []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -80,7 +84,7 @@ func TestAnalyzerGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := RunAnalyzers(pkgs, []*Analyzer{tc.analyzer})
+			diags := RunAnalyzers(pkgs, tc.analyzers)
 			wants := parseWants(t, dir)
 			for _, d := range diags {
 				matched := false
@@ -159,6 +163,29 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestEnginePackagesClean pins the staged engine's concurrency contract
+// from the linter's side: the workload engine (worker pool included) and
+// the parallel profile measurement must be clean under exactly the two
+// analyzers that police parallel simulator code — guarded, so every
+// shared pool counter carries an honoured "guarded by mu" annotation,
+// and nondeterminism, so no engine path can read the wall clock or the
+// global math/rand stream. TestRepoIsClean subsumes this, but this test
+// keeps failing loudly even if someone adds a suppression there.
+func TestEnginePackagesClean(t *testing.T) {
+	root, _, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/workload", "./internal/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()})
+	for _, d := range diags {
+		t.Errorf("engine finding: %s", d)
 	}
 }
 

@@ -1,0 +1,73 @@
+// Package workload is a violation fixture for the staged engine's worker
+// pool: it is named like the simulator package so both the guarded and
+// nondeterminism analyzers apply, the way they do to the production
+// engine. Shared pool state must carry machine-checked "guarded by mu"
+// annotations honoured at every access, and engine code may never read
+// the wall clock — a parallel engine must reproduce the serial result
+// bit-for-bit, so host scheduling cannot be allowed to leak into the
+// simulation.
+package workload
+
+import (
+	"sync"
+	"time"
+)
+
+// pool mirrors the production engine's worker pool: persistent workers
+// drain a task channel, and the stats counters are shared between them.
+type pool struct {
+	tasks chan func()
+
+	mu       sync.Mutex
+	advanced uint64 // guarded by mu; job-advancement tasks executed
+	sampled  uint64 // guarded by mu; node counter samples folded
+}
+
+// newPool starts workers that count their work under the lock: clean.
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan func(), workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.mu.Lock()
+				p.advanced++
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// Stats reads both counters under the lock: clean.
+func (p *pool) Stats() (advanced, sampled uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.advanced, p.sampled
+}
+
+// runSharded holds the lock at the send, but the closure it hands to the
+// pool is a separate scope executed on a worker goroutine: the increment
+// races with every other worker.
+func (p *pool) runSharded(shards int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s := 0; s < shards; s++ {
+		p.tasks <- func() {
+			p.sampled++ // want `p\.sampled is guarded by p\.mu`
+		}
+	}
+}
+
+// peekAdvanced skips the lock for a "quick look" at the counter.
+func (p *pool) peekAdvanced() uint64 {
+	return p.advanced // want `p\.advanced is guarded by p\.mu`
+}
+
+// timeShard measures a worker's latency on the wall clock: host
+// scheduling leaking into a simulator package.
+func (p *pool) timeShard() float64 {
+	start := time.Now() // want `calls time\.Now`
+	p.tasks <- func() {}
+	return time.Since(start).Seconds() // want `calls time\.Since`
+}

@@ -59,6 +59,12 @@ type Spec struct {
 	// PerfFactor is workload metadata (day-quality multiplier) carried
 	// through to the executor; PBS does not interpret it. Zero means 1.
 	PerfFactor float64
+	// StreamID names the RNG substream driving the job's in-flight
+	// randomness (performance jitter, stochastic counter rounding). The
+	// workload generator assigns it so a job's counter stream depends
+	// only on (campaign seed, StreamID), never on execution order; PBS
+	// carries it opaquely, like PerfFactor.
+	StreamID uint64
 }
 
 // Job is a tracked job.

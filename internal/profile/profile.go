@@ -12,6 +12,8 @@ package profile
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/hpm"
 	"repro/internal/isa"
@@ -160,10 +162,19 @@ type Standard struct {
 // instructions is far past cache/TLB warm-up for every kernel.
 const instrsPerMeasurement = 400_000
 
-// MeasureStandard builds the standard profile set. The paging profile is
-// measured on a node with only 32 MB available to the job, against the
-// kernel's 256 MB working set — the >64-node oversubscription regime.
+// MeasureStandard builds the standard profile set with one micro-simulation
+// in flight per available CPU. The paging profile is measured on a node
+// with only 32 MB available to the job, against the kernel's 256 MB
+// working set — the >64-node oversubscription regime.
 func MeasureStandard(seed uint64) Standard {
+	return MeasureStandardWorkers(seed, runtime.GOMAXPROCS(0))
+}
+
+// MeasureStandardWorkers builds the standard profile set with at most
+// workers kernel micro-simulations in flight. Each measurement runs on its
+// own freshly-seeded CPU and writes its own field of the result, so the
+// profiles are bit-identical for every worker count.
+func MeasureStandardWorkers(seed uint64, workers int) Standard {
 	base := power2.Config{Seed: seed + 1}
 	mustKernel := func(name string) kernels.Kernel {
 		k, ok := kernels.ByName(name)
@@ -173,14 +184,43 @@ func MeasureStandard(seed uint64) Standard {
 		return k
 	}
 	pagingCfg := power2.Config{Seed: seed + 2, MemoryBytes: 32 << 20}
-	return Standard{
-		CFD:        MeasureKernel(mustKernel("cfd"), base, instrsPerMeasurement),
-		BT:         MeasureKernel(mustKernel("bt"), base, instrsPerMeasurement),
-		MatMul:     MeasureKernel(mustKernel("matmul"), base, instrsPerMeasurement),
-		Sequential: MeasureKernel(mustKernel("sequential"), base, instrsPerMeasurement),
-		Comm:       MeasureKernel(mustKernel("comm"), base, instrsPerMeasurement),
-		Paging:     MeasureKernel(mustKernel("paging"), pagingCfg, 700_000),
+	var std Standard
+	tasks := []struct {
+		dst    *Profile
+		kernel string
+		cfg    power2.Config
+		instrs uint64
+	}{
+		{&std.CFD, "cfd", base, instrsPerMeasurement},
+		{&std.BT, "bt", base, instrsPerMeasurement},
+		{&std.MatMul, "matmul", base, instrsPerMeasurement},
+		{&std.Sequential, "sequential", base, instrsPerMeasurement},
+		{&std.Comm, "comm", base, instrsPerMeasurement},
+		{&std.Paging, "paging", pagingCfg, 700_000},
 	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			*t.dst = MeasureKernel(mustKernel(t.kernel), t.cfg, t.instrs)
+		}
+		return std
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			*t.dst = MeasureKernel(mustKernel(t.kernel), t.cfg, t.instrs)
+		}()
+	}
+	wg.Wait()
+	return std
 }
 
 // Idle applies nothing: an unallocated or drained node. Kept as an explicit

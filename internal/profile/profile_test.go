@@ -209,3 +209,15 @@ func TestMeasureKernelDeterministic(t *testing.T) {
 		t.Fatal("measurement not deterministic")
 	}
 }
+
+func TestMeasureStandardWorkersBitIdentical(t *testing.T) {
+	serial := MeasureStandardWorkers(3, 1)
+	parallel := MeasureStandardWorkers(3, 4)
+	if serial != parallel {
+		t.Fatal("parallel MeasureStandard differs from serial")
+	}
+	// And the default entry point agrees with both.
+	if def := MeasureStandard(3); def != serial {
+		t.Fatal("MeasureStandard differs from MeasureStandardWorkers")
+	}
+}

@@ -21,12 +21,27 @@ func New(seed uint64) *Source {
 	sm := seed
 	for i := range src.s {
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		src.s[i] = mix64(sm)
 	}
 	return &src
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream returns the id-th substream of seed: the splitmix64 generator
+// seeded at seed is jumped id+1 gamma increments forward and its output
+// seeds a fresh Source. Substreams of one seed are statistically
+// independent of each other and of New(seed), and — crucially for the
+// parallel campaign engine — Stream(seed, id) depends only on (seed, id),
+// never on how many draws any other stream has consumed or on the order
+// streams are created in.
+func Stream(seed, id uint64) *Source {
+	return New(mix64(seed + (id+1)*0x9e3779b97f4a7c15))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

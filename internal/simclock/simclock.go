@@ -151,6 +151,27 @@ func (c *Clock) Every(start Time, period Time, fn func(Time)) (stop func()) {
 	return func() { stopped = true }
 }
 
+// EveryUntil schedules fn at start, start+period, ... for every firing
+// time not after limit. Unlike Every it needs no stop function and never
+// enqueues an event past limit — the shape a fixed-horizon sampler wants:
+// when the last tick has run, the queue holds nothing of the ticker's.
+func (c *Clock) EveryUntil(start, period, limit Time, fn func(Time)) {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive period %v", period))
+	}
+	var schedule func(Time)
+	schedule = func(at Time) {
+		if at > limit {
+			return
+		}
+		c.At(at, func() {
+			fn(c.now)
+			schedule(c.now + period)
+		})
+	}
+	schedule(start)
+}
+
 // Step runs the next event, advancing the clock to its time. It reports
 // whether an event was run (false when the queue is empty). Canceled events
 // are reaped silently without counting as a step.

@@ -282,3 +282,40 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		c.Run()
 	}
 }
+
+func TestEveryUntil(t *testing.T) {
+	var c Clock
+	var fired []Time
+	c.EveryUntil(10, 10, 45, func(at Time) { fired = append(fired, at) })
+	c.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	// Inclusive limit, and nothing left on the queue afterwards.
+	fired = nil
+	c2 := &Clock{}
+	c2.EveryUntil(5, 5, 15, func(at Time) { fired = append(fired, at) })
+	c2.Run()
+	if len(fired) != 3 || fired[2] != 15 {
+		t.Fatalf("inclusive-limit firings = %v, want [5 10 15]", fired)
+	}
+	if c2.Pending() != 0 {
+		t.Fatalf("%d events left queued past the limit", c2.Pending())
+	}
+}
+
+func TestEveryUntilBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var c Clock
+	c.EveryUntil(0, 0, 10, func(Time) {})
+}

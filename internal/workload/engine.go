@@ -1,0 +1,207 @@
+package workload
+
+// The simulate stage. An Engine owns the campaign's bulk state
+// advancement: extrapolating every running job's counter profile onto its
+// nodes, and sampling every node's extended counters into per-tick deltas.
+// Both are embarrassingly parallel — dedicated node allocation means no
+// two jobs share a node, and every job rounds fractional counts with its
+// own splitmix-derived stream — so the worker-pool engine shards them
+// across goroutines and merges in canonical order, producing bit-identical
+// results for any worker count.
+
+import (
+	"sync"
+
+	"repro/internal/hpm"
+	"repro/internal/node"
+	"repro/internal/pbs"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// jobRun is one executing job's extrapolation state. Its rnd is the job's
+// private stream (derived from the campaign seed and the job's StreamID),
+// so the counters it accumulates depend only on the job's identity and
+// lifetime, never on which worker advances it or in what order.
+type jobRun struct {
+	job     *pbs.Job
+	prof    profile.Profile
+	applied simclock.Time // counters advanced up to this instant
+	rnd     *rng.Source
+}
+
+// advanceTo applies the job's profile to its nodes up to instant t.
+func (r *jobRun) advanceTo(t simclock.Time) {
+	dt := (t - r.applied).Seconds()
+	if dt <= 0 {
+		return
+	}
+	for _, nd := range r.job.Nodes() {
+		nd.WithAccumulator(func(a *hpm.Accumulator) {
+			r.prof.Apply(a, dt, r.rnd)
+		})
+	}
+	r.applied = t
+}
+
+// Engine advances independent campaign state. AdvanceRuns and SampleNodes
+// are called from the simulation goroutine between discrete events; runs
+// arrive in canonical (job-ID) order and nodes in cluster order, and every
+// implementation must produce results identical to the serial engine.
+type Engine interface {
+	// AdvanceRuns extrapolates each run's counters to instant t.
+	AdvanceRuns(runs []*jobRun, t simclock.Time)
+	// SampleNodes reads each node's extended counters, differences them
+	// against prev (updated in place), and returns the cluster-wide delta
+	// folded in node order.
+	SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta
+	// Close releases engine resources (worker goroutines).
+	Close()
+}
+
+// NewEngine selects an engine: workers <= 1 is the serial reference
+// implementation, anything larger a pool of that many goroutines.
+func NewEngine(workers int) Engine {
+	if workers <= 1 {
+		return serialEngine{}
+	}
+	return newPoolEngine(workers)
+}
+
+// serialEngine is the single-threaded reference implementation.
+type serialEngine struct{}
+
+func (serialEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
+	for _, r := range runs {
+		r.advanceTo(t)
+	}
+}
+
+func (serialEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta {
+	var total hpm.Delta
+	for i, nd := range nodes {
+		cur := nd.Counters()
+		total.Add(hpm.Sub64(prev[i], cur))
+		prev[i] = cur
+	}
+	return total
+}
+
+func (serialEngine) Close() {}
+
+// poolEngine shards advancement across a fixed pool of worker goroutines.
+// Work is striped: shard s of k handles indices s, s+k, s+2k, ... — a
+// deterministic assignment, though correctness never depends on it: jobs
+// touch disjoint node sets and draw from disjoint RNG streams, and node
+// sampling writes disjoint slots of a scratch slice that is folded in
+// index order afterwards (the canonical-order merge).
+type poolEngine struct {
+	workers int
+	tasks   chan func()
+	alive   sync.WaitGroup
+
+	// scratch holds per-node deltas between the parallel sample and the
+	// ordered fold; workers write disjoint indices and the fold happens
+	// after the barrier, so it needs no lock.
+	scratch []hpm.Delta
+
+	mu       sync.Mutex
+	advanced uint64 // guarded by mu; job-advancement tasks executed
+	sampled  uint64 // guarded by mu; node counter samples folded
+}
+
+func newPoolEngine(workers int) *poolEngine {
+	e := &poolEngine{workers: workers, tasks: make(chan func())}
+	for w := 0; w < workers; w++ {
+		e.alive.Add(1)
+		go func() {
+			defer e.alive.Done()
+			for fn := range e.tasks {
+				fn()
+			}
+		}()
+	}
+	return e
+}
+
+// runSharded executes body(shard, shards) on the pool for each shard and
+// waits for all of them — the per-call barrier that keeps the simulation
+// goroutine's view sequentially consistent.
+func (e *poolEngine) runSharded(n int, body func(shard, shards int)) {
+	shards := e.workers
+	if n < shards {
+		shards = n
+	}
+	if shards <= 1 {
+		if n > 0 {
+			body(0, 1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		e.tasks <- func() {
+			defer wg.Done()
+			body(s, shards)
+		}
+	}
+	wg.Wait()
+}
+
+func (e *poolEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
+	e.runSharded(len(runs), func(shard, shards int) {
+		var n uint64
+		for i := shard; i < len(runs); i += shards {
+			runs[i].advanceTo(t)
+			n++
+		}
+		e.mu.Lock()
+		e.advanced += n
+		e.mu.Unlock()
+	})
+}
+
+func (e *poolEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta {
+	if cap(e.scratch) < len(nodes) {
+		e.scratch = make([]hpm.Delta, len(nodes))
+	}
+	deltas := e.scratch[:len(nodes)]
+	e.runSharded(len(nodes), func(shard, shards int) {
+		var n uint64
+		for i := shard; i < len(nodes); i += shards {
+			cur := nodes[i].Counters()
+			deltas[i] = hpm.Sub64(prev[i], cur)
+			prev[i] = cur
+			n++
+		}
+		e.mu.Lock()
+		e.sampled += n
+		e.mu.Unlock()
+	})
+	// Canonical-order merge: fold per-node deltas in cluster order. The
+	// counts are integers, so any order would give the same bits — the
+	// fixed order is belt-and-braces and keeps the serial engine the
+	// executable specification.
+	var total hpm.Delta
+	for i := range deltas {
+		total.Add(deltas[i])
+	}
+	return total
+}
+
+// Stats reports how much work the pool has executed (for tests and
+// observability).
+func (e *poolEngine) Stats() (advanced, sampled uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.advanced, e.sampled
+}
+
+// Close shuts the workers down. The engine must not be used afterwards.
+func (e *poolEngine) Close() {
+	close(e.tasks)
+	e.alive.Wait()
+}

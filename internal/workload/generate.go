@@ -1,0 +1,178 @@
+package workload
+
+// The generate stage. A Generator turns (Config, day) into the day's job
+// submissions — pure, with every random draw taken from an RNG substream
+// derived via splitmix from (seed, day) and each job tagged with the
+// substream ID its in-flight randomness (performance jitter, stochastic
+// counter rounding) will use. Nothing here touches the clock, the batch
+// system, or the nodes, so plans for different days can be produced in any
+// order — or concurrently — and come out bit-identical.
+
+import (
+	"fmt"
+
+	"repro/internal/pbs"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// RNG substream namespaces. Day-generation streams and per-job streams
+// must never collide: generation consumes stream genStreamBase+day, while
+// a job consumes stream jobStreamBase+UID. Job UIDs are day<<jobUIDShift|n,
+// which stays far below the 2^40 namespace spacing for any realistic
+// campaign.
+const (
+	genStreamBase uint64 = 1 << 40
+	jobStreamBase uint64 = 2 << 40
+	jobUIDShift          = 20 // jobs per day fit comfortably in 2^20
+)
+
+// JobSpec is one generated submission: when it arrives and what it asks
+// PBS for. The embedded pbs.Spec carries the job's StreamID, the identity
+// its private RNG stream is derived from.
+type JobSpec struct {
+	// UID is the campaign-unique job identity: day<<20 | index-within-day.
+	UID uint64
+	// At is the submission instant.
+	At simclock.Time
+	// Spec is the batch request.
+	Spec pbs.Spec
+}
+
+// DayPlan is one day's generated submissions plus the day-level character
+// the draws were conditioned on.
+type DayPlan struct {
+	Day int
+	// Util is the day's target utilisation (weekend dip applied).
+	Util float64
+	// PagingDay marks a day whose mix leans memory-oversubscribed.
+	PagingDay bool
+	// Quality is the day's tuning-quality multiplier.
+	Quality float64
+	Jobs    []JobSpec
+}
+
+// Generator produces a day's job arrivals. Implementations must be pure:
+// GenerateDay(d) returns the same plan no matter how many times or in
+// what order days are generated.
+type Generator interface {
+	GenerateDay(day int) DayPlan
+}
+
+// mixGenerator is the calibrated Figure 1/2 demand model: daily
+// utilisation draws, the node-count marginal, and the class mix.
+type mixGenerator struct {
+	cfg Config
+	mix Mix
+
+	// Node-count demand distribution (Figure 2's marginal): counts and
+	// weights chosen so 16-, 32- and 8-node jobs dominate wall time and
+	// >64-node jobs are rare.
+	nodeCounts  []int
+	nodeWeights *rng.Weighted
+}
+
+// NewGenerator builds the standard demand generator for a campaign
+// configuration and class mix.
+func NewGenerator(cfg Config, mix Mix) Generator {
+	return &mixGenerator{
+		cfg:        cfg,
+		mix:        mix,
+		nodeCounts: []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 80, 96, 128},
+		nodeWeights: rng.NewWeighted([]float64{
+			3, 3, 6, 15, 32, 5, 4, 19, 6, 7, 0.9, 0.6, 0.4,
+		}),
+	}
+}
+
+// classFor assigns a workload class given the node count and day
+// character, consuming draws from the day's generation stream.
+func (g *mixGenerator) classFor(rnd *rng.Source, nodes int, pagingDay bool) Class {
+	if nodes > 64 {
+		// The paper: >64-node jobs were paging (memory oversubscription),
+		// not floating-point intensive, or using synchronous comm.
+		switch {
+		case rnd.Bool(0.75):
+			return g.mix.Paging
+		case rnd.Bool(0.6):
+			return g.mix.NonFP
+		default:
+			return g.mix.Production
+		}
+	}
+	pagingShare := 0.04
+	if pagingDay {
+		pagingShare = 0.35
+	}
+	x := rnd.Float64()
+	switch {
+	case x < pagingShare:
+		return g.mix.Paging
+	case x < pagingShare+0.13:
+		return g.mix.Debug
+	case x < pagingShare+0.13+0.06:
+		return g.mix.Tuned
+	case x < pagingShare+0.13+0.06+0.04:
+		return g.mix.Bench
+	default:
+		return g.mix.Production
+	}
+}
+
+// GenerateDay produces the day's job arrivals: total node-seconds of
+// demand set by the day's target utilisation, spread uniformly over the
+// day. Every draw comes from the day's own substream, so the plan depends
+// only on (Config, mix, day).
+func (g *mixGenerator) GenerateDay(day int) DayPlan {
+	rnd := rng.Stream(g.cfg.Seed, genStreamBase+uint64(day))
+
+	util := rnd.NormalClamped(g.cfg.MeanUtil, g.cfg.UtilSigma, 0.05, 0.97)
+	// Weekend dips: submission demand drops when the users go home — part
+	// of the load-demand fluctuation Figure 1 attributes the variability
+	// to. (The campaign starts on a Monday.)
+	if dow := day % 7; dow == 5 || dow == 6 {
+		util *= 0.62
+	}
+	pagingDay := rnd.Bool(g.cfg.PagingDayProb)
+	// Day quality: how well-tuned the day's job population is. Most days
+	// sit below 1 (development machine), a few are benchmark-grade.
+	quality := rnd.LogNormal(-0.22, 0.30)
+	if quality < 0.35 {
+		quality = 0.35
+	}
+	if quality > 1.35 {
+		quality = 1.35
+	}
+
+	plan := DayPlan{Day: day, Util: util, PagingDay: pagingDay, Quality: quality}
+	demand := util * float64(g.cfg.Nodes) * 86400
+	dayStart := simclock.Days(float64(day))
+	for demand > 0 {
+		nodes := g.nodeCounts[g.nodeWeights.Sample(rnd)]
+		wall := rnd.LogNormal(9.2, 0.85) // median ~10^4/e^0.8... ~9900 s
+		if wall < 700 {
+			wall = 700
+		}
+		if wall > 86400 {
+			wall = 86400
+		}
+		class := g.classFor(rnd, nodes, pagingDay)
+		at := dayStart + simclock.Time(rnd.Float64()*86400)
+		uid := uint64(day)<<jobUIDShift | uint64(len(plan.Jobs))
+		plan.Jobs = append(plan.Jobs, JobSpec{
+			UID: uid,
+			At:  at,
+			Spec: pbs.Spec{
+				User:               fmt.Sprintf("u%02d", rnd.Intn(40)),
+				Nodes:              nodes,
+				WallSeconds:        wall,
+				Class:              class.Name,
+				MemoryPerNodeBytes: class.MemoryPerNode,
+				PerfFactor:         quality,
+				StreamID:           uid,
+			},
+		})
+		demand -= float64(nodes) * wall
+	}
+	return plan
+}

@@ -1,0 +1,69 @@
+package workload
+
+// The reduce stage. The campaign emits its reduction as a stream — one
+// Day as each simulated day closes, then the end-of-campaign aggregates —
+// and a Reducer folds that stream into whatever the consumer needs. The
+// analysis layer can compute figures online without ever holding the full
+// nine-month Result; ResultReducer is the fold that reconstructs the
+// classic struct.
+
+import "repro/internal/pbs"
+
+// Final carries the campaign's end-of-run aggregates: everything that is
+// only known once the window closes.
+type Final struct {
+	Config Config
+	// Records is the filtered batch accounting database.
+	Records []pbs.Record
+	// MaxGflops15min is the highest 15-minute system rate observed.
+	MaxGflops15min float64
+	// DroppedRecords counts jobs under the record filter.
+	DroppedRecords int
+}
+
+// Reducer consumes a campaign's reduction stream. ReduceDay is called
+// once per simulated day, in day order, as the day closes; Finish is
+// called exactly once after the last day.
+type Reducer interface {
+	ReduceDay(d Day)
+	Finish(f Final)
+}
+
+// ResultReducer folds the stream into a Result — the default reduction,
+// equivalent to what the monolithic campaign used to build in place.
+// The zero value is ready to use.
+type ResultReducer struct {
+	res Result
+}
+
+// ReduceDay appends the day to the result.
+func (r *ResultReducer) ReduceDay(d Day) { r.res.Days = append(r.res.Days, d) }
+
+// Finish folds in the end-of-campaign aggregates.
+func (r *ResultReducer) Finish(f Final) {
+	r.res.Config = f.Config
+	r.res.Records = f.Records
+	r.res.MaxGflops15min = f.MaxGflops15min
+	r.res.DroppedRecords = f.DroppedRecords
+}
+
+// Result returns the folded result.
+func (r *ResultReducer) Result() Result { return r.res }
+
+// TeeReducer fans the stream out to several reducers in order — e.g. a
+// live per-day printer alongside the Result fold.
+type TeeReducer []Reducer
+
+// ReduceDay forwards the day to every reducer.
+func (t TeeReducer) ReduceDay(d Day) {
+	for _, r := range t {
+		r.ReduceDay(d)
+	}
+}
+
+// Finish forwards the final aggregates to every reducer.
+func (t TeeReducer) Finish(f Final) {
+	for _, r := range t {
+		r.Finish(f)
+	}
+}

@@ -14,11 +14,19 @@
 //   - per-job performance spread matching Figure 4's 320 +/- 200 Mflops
 //     for 16-node jobs.
 //
+// The campaign is a staged engine:
+//
+//	generate  (Generator, generate.go)  (Config, day) -> DayPlan, pure
+//	simulate  (Engine, engine.go)       advance job runs + node counters
+//	reduce    (Reducer, reduce.go)      fold per-day deltas into a Result
+//
 // Jobs run under the pbs scheduler on dedicated nodes; while a job runs,
 // its nodes' hardware counters advance at the rates micro-measured for its
 // class (see internal/profile), and the campaign reduces the counter
 // stream to per-day cluster deltas — the same reduction the 15-minute
-// RS2HPM cron sampling performed.
+// RS2HPM cron sampling performed. Every random draw comes from a splitmix
+// substream keyed by (seed, day) or (seed, job UID), so the reduction is
+// bit-identical for any Workers count and any execution order.
 package workload
 
 import (
@@ -166,6 +174,12 @@ type Config struct {
 	Days  int // 270 for the paper's nine months
 	Nodes int // 144
 	Seed  uint64
+	// Workers is the engine's parallelism: <= 1 runs the serial reference
+	// engine, larger values a worker pool of that many goroutines. The
+	// reduction is bit-identical for every value — Workers trades wall
+	// clock only — so it is an execution knob, not part of the result:
+	// it is excluded from the serialized campaign database.
+	Workers int `json:"-"`
 	// SamplePeriodSeconds is the counter sampling cadence (900 = 15 min).
 	SamplePeriodSeconds float64
 	// MeanUtil / UtilSigma shape the daily demand distribution.
@@ -177,7 +191,8 @@ type Config struct {
 	MinRecordWall float64
 }
 
-// DefaultConfig returns the paper's campaign parameters.
+// DefaultConfig returns the paper's campaign parameters (serial engine;
+// set Workers for the parallel one).
 func DefaultConfig(seed uint64) Config {
 	return Config{
 		Days:                270,
@@ -233,33 +248,29 @@ type Result struct {
 	DroppedRecords int
 }
 
-// Campaign drives the cluster through the measurement window.
+// Campaign drives the cluster through the measurement window. It wires the
+// three stages together: plans from the Generator are scheduled onto the
+// discrete-event clock, the Engine advances counter state between events,
+// and each closed day streams into the Reducer.
 type Campaign struct {
 	cfg   Config
 	mix   Mix
+	gen   Generator
+	eng   Engine
 	clock *simclock.Clock
 	nodes []*node.Node
 	srv   *pbs.Server
-	rnd   *rng.Source
-
-	nodeWeights *rng.Weighted
-	nodeCounts  []int
 
 	running map[int]*jobRun
+	runs    []*jobRun // canonical job-ID-ordered view of running; nil when stale
 
 	prev       []hpm.Counts64 // last sampled totals per node
 	curDay     Day
-	days       []Day
+	red        Reducer
 	prevBusyNS float64
 	maxG15     float64
 	lastTick   simclock.Time
-}
-
-type jobRun struct {
-	job     *pbs.Job
-	prof    profile.Profile
-	applied simclock.Time // counters advanced up to this instant
-	rnd     *rng.Source
+	ran        bool
 }
 
 // NewCampaign assembles a campaign. The mix usually comes from
@@ -279,23 +290,15 @@ func NewCampaign(cfg Config, mix Mix) *Campaign {
 	c := &Campaign{
 		cfg:     cfg,
 		mix:     mix,
+		gen:     NewGenerator(cfg, mix),
 		clock:   clock,
 		nodes:   nodes,
-		rnd:     rng.New(cfg.Seed),
 		running: make(map[int]*jobRun),
 		prev:    make([]hpm.Counts64, cfg.Nodes),
 	}
 	c.srv = pbs.New(clock, nodes, pbs.Config{DrainThreshold: 64, MinRecordWall: cfg.MinRecordWall})
 	c.srv.OnStart = c.onStart
 	c.srv.OnEnd = c.onEnd
-
-	// Node-count demand distribution (Figure 2's marginal): counts and
-	// weights chosen so 16-, 32- and 8-node jobs dominate wall time and
-	// >64-node jobs are rare.
-	c.nodeCounts = []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 80, 96, 128}
-	c.nodeWeights = rng.NewWeighted([]float64{
-		3, 3, 6, 15, 32, 5, 4, 19, 6, 7, 0.9, 0.6, 0.4,
-	})
 	return c
 }
 
@@ -305,46 +308,16 @@ func (c *Campaign) Nodes() []*node.Node { return c.nodes }
 // Clock exposes the simulation clock.
 func (c *Campaign) Clock() *simclock.Clock { return c.clock }
 
-// classFor assigns a workload class given the node count and day character.
-func (c *Campaign) classFor(nodes int, pagingDay bool) Class {
-	if nodes > 64 {
-		// The paper: >64-node jobs were paging (memory oversubscription),
-		// not floating-point intensive, or using synchronous comm.
-		switch {
-		case c.rnd.Bool(0.75):
-			return c.mix.Paging
-		case c.rnd.Bool(0.6):
-			return c.mix.NonFP
-		default:
-			return c.mix.Production
-		}
-	}
-	pagingShare := 0.04
-	if pagingDay {
-		pagingShare = 0.35
-	}
-	x := c.rnd.Float64()
-	switch {
-	case x < pagingShare:
-		return c.mix.Paging
-	case x < pagingShare+0.13:
-		return c.mix.Debug
-	case x < pagingShare+0.13+0.06:
-		return c.mix.Tuned
-	case x < pagingShare+0.13+0.06+0.04:
-		return c.mix.Bench
-	default:
-		return c.mix.Production
-	}
-}
-
-// onStart builds the job's effective profile (with per-job jitter and the
-// day-quality factor assigned at submission).
+// onStart builds the job's effective profile. The jitter draw and the
+// run's stochastic-rounding stream both come from the job's private
+// substream, derived from (seed, StreamID): a job's counter contribution
+// is a pure function of its identity and lifetime.
 func (c *Campaign) onStart(j *pbs.Job) {
 	class := c.classByName(j.Spec.Class)
+	src := rng.Stream(c.cfg.Seed, jobStreamBase+j.Spec.StreamID)
 	// Mean-one lognormal jitter (mu = -sigma^2/2).
 	sigma := class.PerfSigma
-	jitter := c.rnd.LogNormal(-sigma*sigma/2, sigma)
+	jitter := src.LogNormal(-sigma*sigma/2, sigma)
 	if f := j.Spec.PerfFactor; f > 0 {
 		jitter *= f
 	}
@@ -358,8 +331,9 @@ func (c *Campaign) onStart(j *pbs.Job) {
 		job:     j,
 		prof:    class.jobProfile(jitter),
 		applied: c.clock.Now(),
-		rnd:     c.rnd.Fork(),
+		rnd:     src,
 	}
+	c.runs = nil
 }
 
 func (c *Campaign) classByName(name string) Class {
@@ -378,37 +352,35 @@ func (c *Campaign) onEnd(j *pbs.Job) {
 	if !ok {
 		return
 	}
-	c.advanceJob(run, c.clock.Now())
+	run.advanceTo(c.clock.Now())
 	delete(c.running, j.ID)
+	c.runs = nil
 }
 
-// advanceJob applies the job's profile to its nodes up to instant t.
-func (c *Campaign) advanceJob(run *jobRun, t simclock.Time) {
-	dt := (t - run.applied).Seconds()
-	if dt <= 0 {
-		return
+// sortedRuns returns the running jobs in canonical (ascending job-ID)
+// order, rebuilding the cached slice only when the running set changed.
+func (c *Campaign) sortedRuns() []*jobRun {
+	if c.runs != nil {
+		return c.runs
 	}
-	for _, nd := range run.job.Nodes() {
-		nd.WithAccumulator(func(a *hpm.Accumulator) {
-			run.prof.Apply(a, dt, run.rnd)
-		})
+	c.runs = make([]*jobRun, 0, len(c.running))
+	for _, r := range c.running {
+		c.runs = append(c.runs, r)
 	}
-	run.applied = t
+	// Insertion sort by job ID: the set is small and mostly ordered.
+	for i := 1; i < len(c.runs); i++ {
+		for j := i; j > 0 && c.runs[j].job.ID < c.runs[j-1].job.ID; j-- {
+			c.runs[j], c.runs[j-1] = c.runs[j-1], c.runs[j]
+		}
+	}
+	return c.runs
 }
 
 // tick is the 15-minute sampler: advance all running jobs, then fold every
 // node's new counts into the current day and track the peak 15-minute rate.
 func (c *Campaign) tick(at simclock.Time) {
-	for _, run := range c.running {
-		c.advanceJob(run, at)
-	}
-	var tickDelta hpm.Delta
-	for i, nd := range c.nodes {
-		cur := nd.Counters()
-		d := hpm.Sub64(c.prev[i], cur)
-		c.prev[i] = cur
-		tickDelta.Add(d)
-	}
+	c.eng.AdvanceRuns(c.sortedRuns(), at)
+	tickDelta := c.eng.SampleNodes(c.nodes, c.prev)
 	c.curDay.Delta.Add(tickDelta)
 
 	span := (at - c.lastTick).Seconds()
@@ -421,59 +393,21 @@ func (c *Campaign) tick(at simclock.Time) {
 	c.lastTick = at
 }
 
-// endDay closes out the current day.
+// endDay closes out the current day and streams it to the reducer.
 func (c *Campaign) endDay(dayIdx int) {
 	busy := c.srv.BusyNodeSeconds()
 	c.curDay.Index = dayIdx
 	c.curDay.BusyNodeSeconds = busy - c.prevBusyNS
 	c.prevBusyNS = busy
-	c.days = append(c.days, c.curDay)
+	c.red.ReduceDay(c.curDay)
 	c.curDay = Day{}
 }
 
-// generateDay submits the day's job arrivals: total node-seconds of demand
-// set by the day's target utilisation, spread uniformly over the day.
-func (c *Campaign) generateDay(dayIdx int) {
-	util := c.rnd.NormalClamped(c.cfg.MeanUtil, c.cfg.UtilSigma, 0.05, 0.97)
-	// Weekend dips: submission demand drops when the users go home — part
-	// of the load-demand fluctuation Figure 1 attributes the variability
-	// to. (The campaign starts on a Monday.)
-	if dow := dayIdx % 7; dow == 5 || dow == 6 {
-		util *= 0.62
-	}
-	pagingDay := c.rnd.Bool(c.cfg.PagingDayProb)
-	// Day quality: how well-tuned the day's job population is. Most days
-	// sit below 1 (development machine), a few are benchmark-grade.
-	quality := c.rnd.LogNormal(-0.22, 0.30)
-	if quality < 0.35 {
-		quality = 0.35
-	}
-	if quality > 1.35 {
-		quality = 1.35
-	}
-	demand := util * float64(c.cfg.Nodes) * 86400
-
-	dayStart := simclock.Days(float64(dayIdx))
-	for demand > 0 {
-		nodes := c.nodeCounts[c.nodeWeights.Sample(c.rnd)]
-		wall := c.rnd.LogNormal(9.2, 0.85) // median ~10^4/e^0.8... ~9900 s
-		if wall < 700 {
-			wall = 700
-		}
-		if wall > 86400 {
-			wall = 86400
-		}
-		class := c.classFor(nodes, pagingDay)
-		at := dayStart + simclock.Time(c.rnd.Float64()*86400)
-		spec := pbs.Spec{
-			User:               fmt.Sprintf("u%02d", c.rnd.Intn(40)),
-			Nodes:              nodes,
-			WallSeconds:        wall,
-			Class:              class.Name,
-			MemoryPerNodeBytes: class.MemoryPerNode,
-			PerfFactor:         quality,
-		}
-		c.clock.At(at, func() {
+// schedulePlan enqueues a generated day's submissions onto the clock.
+func (c *Campaign) schedulePlan(plan DayPlan) {
+	for _, js := range plan.Jobs {
+		spec := js.Spec
+		c.clock.At(js.At, func() {
 			// Keep backlog bounded: drop submissions when the queue is
 			// deep (users stop submitting into a jammed machine).
 			if c.srv.QueueLength() < 40 {
@@ -482,46 +416,61 @@ func (c *Campaign) generateDay(dayIdx int) {
 				}
 			}
 		})
-		demand -= float64(nodes) * wall
 	}
 }
 
 // Run executes the campaign and returns the reduction.
 func (c *Campaign) Run() Result {
+	var rr ResultReducer
+	c.RunInto(&rr)
+	return rr.Result()
+}
+
+// RunInto executes the campaign, streaming the reduction into red: one
+// ReduceDay per simulated day as it closes, then Finish. A campaign runs
+// once; calling RunInto again panics.
+func (c *Campaign) RunInto(red Reducer) {
+	if c.ran {
+		panic("workload: campaign already run")
+	}
+	c.ran = true
 	if int(86400)%int(c.cfg.SamplePeriodSeconds) != 0 {
 		panic(fmt.Sprintf("workload: sample period %v must divide a day", c.cfg.SamplePeriodSeconds))
 	}
+	c.red = red
+	c.eng = NewEngine(c.cfg.Workers)
+	defer c.eng.Close()
+
 	period := simclock.Time(c.cfg.SamplePeriodSeconds)
 	ticksPerDay := int(86400 / c.cfg.SamplePeriodSeconds)
 	total := simclock.Days(float64(c.cfg.Days))
 
-	// Schedule all day generators up front (they only enqueue submit
-	// events for their own day).
+	// Generate stage: plan every day and schedule its submissions. Plans
+	// only depend on (Config, mix, day), so this loop could run in any
+	// order; the events land on the clock in deterministic time order
+	// regardless.
 	for d := 0; d < c.cfg.Days; d++ {
-		c.generateDay(d)
+		c.schedulePlan(c.gen.GenerateDay(d))
 	}
-	// The sampler; the tick landing on a day boundary closes the day
-	// after folding its last interval in.
+
+	// Simulate stage: the sampler; the tick landing on a day boundary
+	// closes the day after folding its last interval in.
 	tickNo := 0
-	stop := c.clock.Every(period, period, func(at simclock.Time) {
-		if at > total {
-			return
-		}
+	c.clock.EveryUntil(period, period, total, func(at simclock.Time) {
 		c.tick(at)
 		tickNo++
 		if tickNo%ticksPerDay == 0 {
 			c.endDay(tickNo/ticksPerDay - 1)
 		}
 	})
-
 	c.clock.RunUntil(total)
-	stop()
 
-	return Result{
+	// Reduce stage: end-of-campaign aggregates.
+	c.red.Finish(Final{
 		Config:         c.cfg,
-		Days:           c.days,
 		Records:        c.srv.Records(),
 		MaxGflops15min: c.maxG15,
 		DroppedRecords: c.srv.DroppedRecords(),
-	}
+	})
+	c.red = nil
 }

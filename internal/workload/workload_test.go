@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hpm"
 	"repro/internal/profile"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -316,10 +317,11 @@ func TestBadSamplePeriodPanics(t *testing.T) {
 
 func TestClassForLargeJobsAvoidsStandardMix(t *testing.T) {
 	cfg := DefaultConfig(3)
-	c := NewCampaign(cfg, DefaultMix(std(t)))
+	g := NewGenerator(cfg, DefaultMix(std(t))).(*mixGenerator)
+	rnd := rng.New(3)
 	counts := map[string]int{}
 	for i := 0; i < 1000; i++ {
-		counts[c.classFor(96, false).Name]++
+		counts[g.classFor(rnd, 96, false).Name]++
 	}
 	if counts["paging"] < 400 {
 		t.Errorf("paging share for >64-node jobs = %d/1000, want majority", counts["paging"])
