@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fixtures bench ci
+.PHONY: build test race vet lint lint-fixtures bench benchdiff bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,16 @@ lint-fixtures:
 # the terminal and the parsed table lands in BENCH_campaign.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_campaign.json
+
+# Re-run the paper benchmarks and print per-benchmark deltas against the
+# committed baseline without overwriting it. Informational: single-pass
+# timings are noisy, so benchdiff only fails on build/run errors.
+benchdiff:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json
+
+# Quick smoke: one iteration of the microsim + campaign-day benchmarks,
+# just to prove the bench harness still builds and runs (used by CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'CPUSimulation|CampaignDay' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json
 
 ci: build vet test race lint lint-fixtures

@@ -9,6 +9,12 @@
 // count, ns/op, and every custom metric the benchmark reported via
 // b.ReportMetric — the paper-anchored quantities the top-level bench
 // harness emits next to each table and figure.
+//
+// With -diff old.json the freshly parsed run is also compared against an
+// earlier report and a per-benchmark delta table is printed to stderr.
+// The diff is informational: single-iteration timings are noisy, so it
+// never changes the exit status. Pass an empty -o to diff without
+// writing a new report (the committed baseline stays untouched).
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -102,16 +110,17 @@ func parseHeader(r *Report, line string) {
 	}
 }
 
-func main() {
-	out := flag.String("o", "BENCH_campaign.json", "write the parsed benchmark table here")
-	flag.Parse()
-
+// parseRun consumes a `go test -bench` stream, echoing every line to echo
+// (nil to discard) and returning the parsed report.
+func parseRun(in io.Reader, echo io.Writer) (Report, error) {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
 		if b, ok := parseLine(line); ok {
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		} else {
@@ -119,21 +128,133 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		return rep, fmt.Errorf("read input: %w", err)
+	}
+	return rep, nil
+}
+
+// diffLine is one row of the delta table.
+type diffLine struct {
+	name        string
+	oldNs       float64
+	newNs       float64
+	inOld       bool
+	inNew       bool
+	metricNotes []string // shared custom metrics that moved, rendered "unit old->new"
+}
+
+// diffReports pairs benchmarks by name (repeated names pair in order, so
+// the `#01` duplicates go test emits keep lining up) and returns rows for
+// every benchmark seen in either report: the new run's benchmarks in run
+// order, then baseline entries the new run no longer produces.
+func diffReports(oldRep, newRep Report) []diffLine {
+	oldByName := map[string][]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldByName[b.Name] = append(oldByName[b.Name], b)
+	}
+	var rows []diffLine
+	for _, nb := range newRep.Benchmarks {
+		row := diffLine{name: nb.Name, newNs: nb.NsPerOp, inNew: true}
+		if q := oldByName[nb.Name]; len(q) > 0 {
+			ob := q[0]
+			oldByName[nb.Name] = q[1:]
+			row.inOld = true
+			row.oldNs = ob.NsPerOp
+			var units []string
+			for unit := range nb.Metrics {
+				if _, ok := ob.Metrics[unit]; ok {
+					units = append(units, unit)
+				}
+			}
+			sort.Strings(units)
+			for _, unit := range units {
+				if ov, nv := ob.Metrics[unit], nb.Metrics[unit]; ov != nv {
+					row.metricNotes = append(row.metricNotes, fmt.Sprintf("%s %g->%g", unit, ov, nv))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Baseline benchmarks the new run didn't produce, in old-report order.
+	for _, ob := range oldRep.Benchmarks {
+		if q := oldByName[ob.Name]; len(q) > 0 {
+			oldByName[ob.Name] = q[1:]
+			rows = append(rows, diffLine{name: ob.Name, oldNs: ob.NsPerOp, inOld: true})
+		}
+	}
+	return rows
+}
+
+// renderDiff formats the delta table. Timings are compared as a speedup
+// factor (old/new, so >1 is faster) alongside the percent change.
+func renderDiff(rows []diffLine) string {
+	var sb strings.Builder
+	width := len("benchmark")
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %8s\n", width, "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
+	for _, r := range rows {
+		switch {
+		case r.inOld && r.inNew:
+			delta, speedup := "n/a", "n/a"
+			if r.oldNs > 0 && r.newNs > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(r.newNs-r.oldNs)/r.oldNs)
+				speedup = fmt.Sprintf("%.2fx", r.oldNs/r.newNs)
+			}
+			fmt.Fprintf(&sb, "%-*s  %14.0f  %14.0f  %8s  %8s\n", width, r.name, r.oldNs, r.newNs, delta, speedup)
+			for _, m := range r.metricNotes {
+				fmt.Fprintf(&sb, "%-*s    %s\n", width, "", m)
+			}
+		case r.inNew:
+			fmt.Fprintf(&sb, "%-*s  %14s  %14.0f  %8s  %8s\n", width, r.name, "(new)", r.newNs, "", "")
+		default:
+			fmt.Fprintf(&sb, "%-*s  %14.0f  %14s  %8s  %8s\n", width, r.name, r.oldNs, "(gone)", "", "")
+		}
+	}
+	return sb.String()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_campaign.json", "write the parsed benchmark table here ('' to skip writing)")
+	diff := flag.String("diff", "", "print per-benchmark deltas against this earlier report (informational only)")
+	flag.Parse()
+
+	rep, err := parseRun(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if *diff != "" {
+		buf, err := os.ReadFile(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var oldRep Report
+		if err := json.Unmarshal(buf, &oldRep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (timing deltas are informational, not pass/fail)\n", *diff)
+		fmt.Fprint(os.Stderr, renderDiff(diffReports(oldRep, rep)))
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -49,5 +50,93 @@ func TestParseHeader(t *testing.T) {
 	}
 	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" || r.CPU != "POWER2 (simulated)" {
 		t.Fatalf("header = %+v", r)
+	}
+}
+
+func TestParseRun(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"pkg: repro",
+		"BenchmarkCPUSimulation-1  1  376059 ns/op",
+		"BenchmarkMeasureStandard/workers=1-1  1  256872250 ns/op",
+		"PASS",
+	}, "\n")
+	var echoed strings.Builder
+	rep, err := parseRun(strings.NewReader(in), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "repro" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// The stream passes through untouched so the human-readable run stays
+	// visible when benchjson sits at the end of a pipe.
+	if echoed.String() != in+"\n" {
+		t.Fatalf("echo mangled the stream:\n%s", echoed.String())
+	}
+}
+
+func TestDiffReportsPairsByName(t *testing.T) {
+	oldRep := Report{Benchmarks: []Benchmark{
+		{Name: "CampaignDay/workers=1", NsPerOp: 200},
+		{Name: "Gone", NsPerOp: 50},
+		{Name: "MeasureStandard/workers=1", NsPerOp: 300, Metrics: map[string]float64{"hits": 0}},
+	}}
+	newRep := Report{Benchmarks: []Benchmark{
+		{Name: "CampaignDay/workers=1", NsPerOp: 100},
+		{Name: "MeasureStandard/workers=1", NsPerOp: 150, Metrics: map[string]float64{"hits": 5}},
+		{Name: "Fresh", NsPerOp: 10},
+	}}
+	rows := diffReports(oldRep, newRep)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	if r := rows[0]; !r.inOld || !r.inNew || r.oldNs != 200 || r.newNs != 100 {
+		t.Fatalf("bad matched row: %+v", r)
+	}
+	if r := rows[1]; len(r.metricNotes) != 1 || r.metricNotes[0] != "hits 0->5" {
+		t.Fatalf("bad metric note: %+v", r)
+	}
+	if r := rows[2]; r.name != "Fresh" || r.inOld || !r.inNew {
+		t.Fatalf("bad new-only row: %+v", r)
+	}
+	if r := rows[3]; r.name != "Gone" || !r.inOld || r.inNew {
+		t.Fatalf("bad old-only row: %+v", r)
+	}
+}
+
+// Duplicate names — go test's `#01` suffix only disambiguates within one
+// run, and reports can carry repeated names — must pair in order rather
+// than all matching the first baseline entry.
+func TestDiffReportsDuplicateNames(t *testing.T) {
+	oldRep := Report{Benchmarks: []Benchmark{
+		{Name: "Dup", NsPerOp: 100},
+		{Name: "Dup", NsPerOp: 200},
+	}}
+	newRep := Report{Benchmarks: []Benchmark{
+		{Name: "Dup", NsPerOp: 10},
+		{Name: "Dup", NsPerOp: 20},
+	}}
+	rows := diffReports(oldRep, newRep)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+	if rows[0].oldNs != 100 || rows[0].newNs != 10 || rows[1].oldNs != 200 || rows[1].newNs != 20 {
+		t.Fatalf("duplicates paired out of order: %+v", rows)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	out := renderDiff(diffReports(
+		Report{Benchmarks: []Benchmark{{Name: "A", NsPerOp: 300}, {Name: "B", NsPerOp: 7}}},
+		Report{Benchmarks: []Benchmark{{Name: "A", NsPerOp: 100}, {Name: "C", NsPerOp: 9}}},
+	))
+	for _, want := range []string{"-66.7%", "3.00x", "(new)", "(gone)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
 	}
 }

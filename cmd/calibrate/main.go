@@ -17,6 +17,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/power2"
+	prof "repro/internal/profile"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "calibrate: unknown kernel %q\n", name)
 			os.Exit(2)
 		}
-		profile(k, *n)
+		report(k, *n)
 		if *dump {
 			fmt.Println(isa.Describe(k.New(1), minU64(*n, 100_000)).String())
 		}
@@ -51,16 +52,18 @@ func minU64(a, b uint64) uint64 {
 	return b
 }
 
-func profile(k kernels.Kernel, n uint64) {
-	cpu := power2.New(power2.Config{Seed: 1})
-	st := cpu.RunLimited(k.New(1), n)
-	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
-	r := hpm.UserRates(d, cpu.Elapsed())
+func report(k kernels.Kernel, n uint64) {
+	// Measurements go through the memoized store: calibrating the same
+	// kernel under the same budget twice in one process is free, and a
+	// persisted cache could make it free across processes too.
+	m := prof.DefaultStore.Measure(k, power2.Config{Seed: 1}, n)
+	st := m.Stats
+	r := hpm.UserRates(m.Delta, m.Seconds)
 
 	fmt.Printf("=== %s — %s\n", k.Name, k.Description)
 	fmt.Printf("  instructions  %12d     cycles %12d     IPC %.3f\n", st.Instructions, st.Cycles, st.IPC())
 	fmt.Printf("  Mflops  all %7.2f  add %6.2f  mul %6.2f  fma %6.2f  div %6.2f (true div %d)\n",
-		r.MflopsAll, r.MflopsAdd, r.MflopsMul, r.MflopsFMA, r.MflopsDiv, cpu.Monitor().TrueDivides(hpm.User))
+		r.MflopsAll, r.MflopsAdd, r.MflopsMul, r.MflopsFMA, r.MflopsDiv, m.TrueDivides[hpm.User])
 	fmt.Printf("  Mips    tot %7.2f  fpu %6.2f (0:%5.2f 1:%5.2f)  fxu %6.2f (0:%5.2f 1:%5.2f)  icu %5.2f\n",
 		r.Mips, r.MipsFPU, r.MipsFPU0, r.MipsFPU1, r.MipsFXU, r.MipsFXU0, r.MipsFXU1, r.MipsICU)
 	fmt.Printf("  ratios  fma-frac %.3f  fpu0/fpu1 %.2f  flops/memref %.3f  branch-frac %.3f\n",

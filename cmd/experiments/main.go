@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"repro/internal/analysis"
+	"repro/internal/cliperf"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,7 +40,31 @@ func main() {
 	f5 := flag.Bool("fig5", false, "Figure 5: performance vs system intervention")
 	whatif := flag.Bool("whatif", false, "what-if: the I/O-wait counter selection the paper recommends")
 	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
+	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	flag.Parse()
+
+	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := cliperf.WriteMemProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
+	if err := cliperf.LoadProfileCache(*profCache); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := cliperf.SaveProfileCache(*profCache); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	if !(*all || *t1 || *t2 || *t3 || *t4 || *f1 || *f2 || *f3 || *f4 || *f5 || *whatif || *npb) {
 		*all = true

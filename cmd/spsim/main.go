@@ -6,6 +6,7 @@
 // Usage:
 //
 //	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-o db.json.gz] [-csv jobs.csv]
+//	      [-profile-cache profiles.json.gz] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/cliperf"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -41,7 +43,26 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-day detail")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
+	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	flag.Parse()
+
+	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := cliperf.WriteMemProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+		}
+	}()
+	if err := cliperf.LoadProfileCache(*profCache); err != nil {
+		fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := workload.DefaultConfig(*seed)
 	cfg.Days = *days
@@ -50,6 +71,10 @@ func main() {
 
 	fmt.Printf("measuring kernel profiles...\n")
 	std := profile.MeasureStandardWorkers(*seed, *workers)
+	if err := cliperf.SaveProfileCache(*profCache); err != nil {
+		fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("running %d-day campaign on %d nodes (%d workers)...\n", cfg.Days, cfg.Nodes, *workers)
 	var rr workload.ResultReducer
 	red := workload.Reducer(&rr)

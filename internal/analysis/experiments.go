@@ -10,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/node"
 	"repro/internal/power2"
+	"repro/internal/profile"
 	"repro/internal/units"
 )
 
@@ -22,10 +23,8 @@ func MeasureSequentialRow(seed uint64, instrs uint64) Table4Row {
 	if !ok {
 		panic("analysis: sequential kernel missing")
 	}
-	cpu := power2.New(power2.Config{Seed: seed})
-	cpu.RunLimited(k.New(seed), instrs)
-	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
-	r := hpm.UserRates(d, cpu.Elapsed())
+	m := profile.DefaultStore.Measure(k, power2.Config{Seed: seed}, instrs)
+	r := hpm.UserRates(m.Delta, m.Seconds)
 	return Table4Row{
 		CacheMissRatio: r.CacheMissRatio(),
 		TLBMissRatio:   r.TLBMissRatio(),
@@ -265,7 +264,9 @@ type NPBSuite struct {
 	Rows []NPBRow
 }
 
-// MeasureNPBSuite runs every NPB-class kernel through the CPU model.
+// MeasureNPBSuite runs every NPB-class kernel through the CPU model,
+// consulting the profile store (cmd/experiments runs the suite after the
+// campaign has already measured bt, so warm entries are free).
 func MeasureNPBSuite(seed uint64, instrs uint64) NPBSuite {
 	var s NPBSuite
 	for _, name := range []string{"bt", "sp", "lu", "mg", "ft", "cg"} {
@@ -273,10 +274,8 @@ func MeasureNPBSuite(seed uint64, instrs uint64) NPBSuite {
 		if !ok {
 			panic("analysis: missing NPB kernel " + name)
 		}
-		cpu := power2.New(power2.Config{Seed: seed})
-		cpu.RunLimited(k.New(seed), instrs)
-		d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
-		r := hpm.UserRates(d, cpu.Elapsed())
+		m := profile.DefaultStore.Measure(k, power2.Config{Seed: seed}, instrs)
+		r := hpm.UserRates(m.Delta, m.Seconds)
 		s.Rows = append(s.Rows, NPBRow{
 			Name:           name,
 			MflopsPerCPU:   r.MflopsAll,

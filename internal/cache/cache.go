@@ -76,13 +76,32 @@ type line struct {
 
 // Cache is a set-associative cache. It is not safe for concurrent use; each
 // simulated node owns its caches.
+//
+// The lookup path is on the CPU model's per-instruction critical path
+// (every fetch goes through the I-cache, every storage reference through
+// the D-cache), so the layout is flattened: one backing array indexed by
+// set*ways, both address shifts precomputed at construction, and a per-set
+// MRU way checked before the associative scan. None of this changes any
+// observable behaviour — hits, misses, LRU ordering, victim choices and
+// the Random policy's xorshift stream are bit-identical to the
+// straightforward implementation (pinned by TestOptimizedCacheEquivalence).
 type Cache struct {
-	cfg       Config
-	sets      [][]line
+	cfg   Config
+	lines []line // nsets*ways, set s occupying [s*ways, (s+1)*ways)
+	nsets int
+	ways  int
+
 	setMask   uint64
-	lineShift uint
-	stats     Stats
-	tick      uint64
+	lineShift uint // address -> line address
+	tagShift  uint // address -> tag, lineShift + log2(nsets), computed once
+
+	// mru holds each set's most-recently-hit (or -filled) way; -1 when the
+	// set has never been touched. Purely an access accelerator: checking it
+	// first gives the same hit the scan would find.
+	mru []int16
+
+	stats Stats
+	tick  uint64
 	// rndState is a tiny xorshift for the Random policy ablation.
 	rndState uint64
 }
@@ -95,22 +114,22 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	shift := uint(0)
-	for 1<<shift != cfg.LineBytes {
-		shift++
-	}
-	return &Cache{
+	lineShift := uintLog2(uint64(cfg.LineBytes))
+	c := &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		lines:     make([]line, nsets*cfg.Ways),
+		nsets:     nsets,
+		ways:      cfg.Ways,
 		setMask:   uint64(nsets - 1),
-		lineShift: shift,
+		lineShift: lineShift,
+		tagShift:  lineShift + uintLog2(uint64(nsets)),
+		mru:       make([]int16, nsets),
 		rndState:  0x9e3779b97f4a7c15,
 	}
+	for i := range c.mru {
+		c.mru[i] = -1
+	}
+	return c
 }
 
 // Config returns the geometry the cache was built with.
@@ -119,15 +138,18 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns the accumulated event counts.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Castouts returns the castout count alone, without copying the whole
+// Stats struct (the CPU model reads it around every D-cache access).
+func (c *Cache) Castouts() uint64 { return c.stats.Castouts }
+
 // ResetStats zeroes the event counts without disturbing cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Sets reports the number of sets.
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return c.nsets }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
-	lineAddr := addr >> c.lineShift
-	return lineAddr & c.setMask, lineAddr >> uintLog2(uint64(len(c.sets)))
+	return (addr >> c.lineShift) & c.setMask, addr >> c.tagShift
 }
 
 func uintLog2(n uint64) uint {
@@ -152,8 +174,23 @@ func (c *Cache) nextRnd() uint64 {
 // write-allocate setting) and a modified victim is cast out.
 func (c *Cache) Access(addr uint64, isStore bool) bool {
 	c.tick++
-	setIdx, tag := c.index(addr)
-	set := c.sets[setIdx]
+	setIdx := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.tagShift
+	set := c.lines[setIdx*uint64(c.ways) : (setIdx+1)*uint64(c.ways)]
+
+	// MRU fast path: most references hit the way they hit last time
+	// (sequential sweeps and tight loops revisit the same line), so check
+	// it before scanning the set.
+	if m := c.mru[setIdx]; m >= 0 {
+		if l := &set[m]; l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			if isStore {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
 
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -161,6 +198,7 @@ func (c *Cache) Access(addr uint64, isStore bool) bool {
 			if isStore {
 				set[i].dirty = true
 			}
+			c.mru[setIdx] = int16(i)
 			c.stats.Hits++
 			return true
 		}
@@ -198,6 +236,7 @@ func (c *Cache) Access(addr uint64, isStore bool) bool {
 	}
 
 	set[victim] = line{tag: tag, valid: true, dirty: isStore, lastUse: c.tick}
+	c.mru[setIdx] = int16(victim)
 	c.stats.Reloads++
 	return false
 }
@@ -206,8 +245,9 @@ func (c *Cache) Access(addr uint64, isStore bool) bool {
 // or statistics (a probe, for tests and warm-up checks).
 func (c *Cache) Contains(addr uint64) bool {
 	setIdx, tag := c.index(addr)
-	for _, l := range c.sets[setIdx] {
-		if l.valid && l.tag == tag {
+	set := c.lines[setIdx*uint64(c.ways) : (setIdx+1)*uint64(c.ways)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
 			return true
 		}
 	}
@@ -218,12 +258,13 @@ func (c *Cache) Contains(addr uint64) bool {
 // Castouts). Used at job boundaries: PBS gave users dedicated nodes, so a
 // new job starts cold.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid && c.sets[s][w].dirty {
-				c.stats.Castouts++
-			}
-			c.sets[s][w] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.Castouts++
 		}
+		c.lines[i] = line{}
+	}
+	for i := range c.mru {
+		c.mru[i] = -1
 	}
 }

@@ -1,0 +1,76 @@
+// Package cliperf carries the shared performance plumbing of the
+// command-line tools: pprof profile capture (-cpuprofile/-memprofile) and
+// the persisted profile-measurement cache (-profile-cache). It exists so
+// cmd/spsim and cmd/experiments expose identical knobs without duplicating
+// the teardown-ordering details (the CPU profile must stop before the
+// process exits, the memory profile wants a GC first, the measurement
+// cache is written back after the run so new entries persist).
+package cliperf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// StartCPUProfile begins CPU profiling into path and returns the stop
+// function. With an empty path it is a no-op returning a no-op stop.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cliperf: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cliperf: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes a heap profile to path (after a GC, so the
+// profile reflects live objects rather than garbage). Empty path is a
+// no-op.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cliperf: mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("cliperf: mem profile: %w", err)
+	}
+	return nil
+}
+
+// LoadProfileCache warms the default measurement store from path (".gz"
+// handled transparently; a missing file is a cold start). Empty path is a
+// no-op.
+func LoadProfileCache(path string) error {
+	if path == "" {
+		return nil
+	}
+	return trace.LoadProfileCacheFile(path, profile.DefaultStore)
+}
+
+// SaveProfileCache persists the default measurement store to path so the
+// next process starts warm. Empty path is a no-op.
+func SaveProfileCache(path string) error {
+	if path == "" {
+		return nil
+	}
+	return trace.WriteProfileCacheFile(path, profile.DefaultStore)
+}

@@ -88,8 +88,7 @@ func (a *Accumulator) AddDirect(m Mode, ev Event, n uint64) {
 	}
 	// Respect the hardware divide-counter bug: what the registers never
 	// counted, the daemon never saw.
-	if a.mon != nil && a.mon.divBug &&
-		(a.mon.sel.Slots[ev] == SigFPU0Div || a.mon.sel.Slots[ev] == SigFPU1Div) {
+	if a.mon != nil && a.mon.divBug && a.mon.divSlot[ev] {
 		return
 	}
 	a.totals.Counts[m][ev] += n

@@ -177,8 +177,13 @@ type Monitor struct {
 
 	// sel is the armed event selection (Table 1's NAS selection by
 	// default); router maps hardware signals onto its counter slots.
-	sel    Selection
-	router router
+	// divSlot marks the slots the armed selection routes a divide signal
+	// to, precomputed so per-count paths (AddDirect in particular, which
+	// the campaign's profile extrapolation calls per event per job per
+	// tick) avoid two Selection slot compares.
+	sel     Selection
+	router  router
+	divSlot [NumEvents]bool
 
 	// The paper documents an implementation error in the hardware monitor
 	// that prevented proper reporting of divide operations; the fp_div
@@ -192,14 +197,14 @@ type Monitor struct {
 // divide-counter bug enabled, as on the real machine.
 func New() *Monitor {
 	sel := NASSelection()
-	return &Monitor{divBug: true, sel: sel, router: buildRouter(sel)}
+	return &Monitor{divBug: true, sel: sel, router: buildRouter(sel), divSlot: buildDivSlots(sel)}
 }
 
 // NewWithoutDivBug returns a monitor whose divide counters work; used by
 // the ablation bench to show what Table 3's Mflops-div row would have been.
 func NewWithoutDivBug() *Monitor {
 	sel := NASSelection()
-	return &Monitor{sel: sel, router: buildRouter(sel)}
+	return &Monitor{sel: sel, router: buildRouter(sel), divSlot: buildDivSlots(sel)}
 }
 
 // SetMode switches between user and system counting state.
@@ -221,7 +226,7 @@ func (m *Monitor) Add(ev Event, n uint64) {
 	if ev >= NumEvents {
 		panic(fmt.Sprintf("hpm: invalid event %d", ev))
 	}
-	if m.divBug && (m.sel.Slots[ev] == SigFPU0Div || m.sel.Slots[ev] == SigFPU1Div) {
+	if m.divBug && m.divSlot[ev] {
 		m.trueDivides[m.mode] += n
 		return
 	}

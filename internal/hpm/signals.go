@@ -265,8 +265,19 @@ func (m *Monitor) Arm(name string) error {
 	}
 	m.sel = sel
 	m.router = buildRouter(sel)
+	m.divSlot = buildDivSlots(sel)
 	m.Reset()
 	return nil
+}
+
+// buildDivSlots precomputes which counter slots the selection routes the
+// (hardware-bugged) divide signals into.
+func buildDivSlots(sel Selection) [NumEvents]bool {
+	var d [NumEvents]bool
+	for ev := Event(0); ev < NumEvents; ev++ {
+		d[ev] = sel.Slots[ev] == SigFPU0Div || sel.Slots[ev] == SigFPU1Div
+	}
+	return d
 }
 
 // Signal counts n occurrences of a hardware signal; it lands in a counter

@@ -76,6 +76,10 @@ func TestAnalyzerGolden(t *testing.T) {
 		// way the production engine is: guarded for the pool's shared
 		// counters, nondeterminism for wall-clock reads.
 		{"enginepool", []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()}},
+		// The profile-store fixture mirrors the memoized measurement
+		// cache: a mutex-guarded map plus hit/miss counters, with the
+		// lock-free "fast path" bugs the guarded analyzer must catch.
+		{"profilestore", []*Analyzer{GuardedStateAnalyzer()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

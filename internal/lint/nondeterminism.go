@@ -23,6 +23,7 @@ var simulatorPackages = map[string]bool{
 	"vm":       true,
 	"tlb":      true,
 	"cache":    true,
+	"profile":  true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

@@ -1,0 +1,85 @@
+// Package profile is a violation fixture for the memoized measurement
+// store: it is named like the production package so the guarded analyzer
+// polices it the same way. The store is consulted concurrently by the
+// engine workers, so every cache field carries a "guarded by mu"
+// annotation — and the tempting lock-free "fast paths" below are exactly
+// the bugs the analyzer exists to catch: they never crash, they just
+// hand one worker a torn map read or a stale hit counter.
+package profile
+
+import "sync"
+
+// measurement stands in for the production measurement record.
+type measurement struct {
+	kernel string
+	instrs uint64
+}
+
+// store mirrors the production profile.Store: a mutex and the state it
+// protects.
+type store struct {
+	mu           sync.Mutex
+	measurements map[string]measurement // guarded by mu
+	hits         uint64                 // guarded by mu
+	misses       uint64                 // guarded by mu
+}
+
+// lookup takes the lock around the map and the counters: clean.
+func (s *store) lookup(key string) (measurement, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.measurements[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return m, ok
+}
+
+// insertLocked follows the *Locked naming convention for helpers whose
+// callers hold the lock: clean.
+func (s *store) insertLocked(key string, m measurement) {
+	if s.measurements == nil {
+		s.measurements = make(map[string]measurement)
+	}
+	s.measurements[key] = m
+}
+
+// add locks, then defers the real work to the Locked helper: clean.
+func (s *store) add(key string, m measurement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(key, m)
+}
+
+// len skips the lock for a "read-only" map peek; the runtime is free to
+// tear it against a concurrent insert.
+func (s *store) len() int {
+	return len(s.measurements) // want `s\.measurements is guarded by s\.mu`
+}
+
+// hitRate reads both counters with no lock at all — the classic
+// monitoring endpoint that reports a rate torn across a concurrent
+// lookup.
+func (s *store) hitRate() float64 {
+	h := s.hits           // want `s\.hits is guarded by s\.mu`
+	total := h + s.misses // want `s\.misses is guarded by s\.mu`
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+// warm holds the lock at spawn time, but the closure runs on its own
+// goroutine after warm returns: its writes race with every lookup.
+func (s *store) warm(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		for _, k := range keys {
+			s.measurements[k] = measurement{kernel: k} // want `s\.measurements is guarded by s\.mu`
+			s.misses++                                 // want `s\.misses is guarded by s\.mu`
+		}
+	}()
+}

@@ -118,7 +118,7 @@ func sp2TLBConfig() tlb.Config {
 
 // CPU is one POWER2 processor. Not safe for concurrent use.
 type CPU struct {
-	cfg    Config
+	cfg    Resolved
 	dcache *cache.Cache
 	icache *cache.Cache
 	tlb    *tlb.TLB
@@ -149,7 +149,32 @@ type CPU struct {
 
 	rrNext int // round-robin state for the ablation policy
 
+	// pend batches user-mode counter increments so the monitor's routing
+	// runs once per signal per Run instead of once per event. Counter
+	// banks are 32-bit accumulators under a fixed mode, so deferring the
+	// adds is exact: uint32 addition is commutative and associative mod
+	// 2^32, and every path that switches the monitor's mode or hands
+	// control back to the caller flushes first (drain, the fault
+	// handlers). Invariant: pend is all-zero whenever Run returns.
+	pend [hpm.NumSignals]uint64
+
 	stats RunStats
+}
+
+// signal batches a user-mode monitor signal for the current Run.
+func (c *CPU) signal(sig hpm.Signal, n uint64) {
+	c.pend[sig] += n
+}
+
+// flushPend pushes all batched signals into the monitor. Must be called
+// before any monitor mode switch or counter read.
+func (c *CPU) flushPend() {
+	for sig := range c.pend {
+		if n := c.pend[sig]; n != 0 {
+			c.mon.Signal(hpm.Signal(sig), n)
+			c.pend[sig] = 0
+		}
+	}
 }
 
 // RunStats summarises one Run at the architectural level (the monitor holds
@@ -186,42 +211,82 @@ func (s RunStats) Mflops() float64 {
 	return float64(s.Flops) / (float64(s.Cycles) / units.ClockHz) / 1e6
 }
 
+// Resolved is a Config with every default applied and the geometry
+// pointers flattened into values. It is a plain comparable struct, so two
+// Configs that Resolve() equal build behaviourally identical CPUs — which
+// is exactly what makes it usable as a memoization key (the profile
+// store's cache key is built on it).
+type Resolved struct {
+	DCache          cache.Config
+	ICache          cache.Config
+	TLB             tlb.Config
+	MemoryBytes     uint64
+	Policy          FPUPolicy
+	QuadCountsAsTwo bool
+	PageFaultCycles uint64
+	PageFaultInstrs uint64
+	ZeroFillCycles  uint64
+	ZeroFillInstrs  uint64
+	Seed            uint64
+}
+
+// Resolve applies the paper's-machine defaults, producing the canonical
+// form of the configuration.
+func (cfg Config) Resolve() Resolved {
+	r := Resolved{
+		DCache:          sp2DCacheConfig(),
+		ICache:          sp2ICacheConfig(),
+		TLB:             sp2TLBConfig(),
+		MemoryBytes:     cfg.MemoryBytes,
+		Policy:          cfg.Policy,
+		QuadCountsAsTwo: cfg.QuadCountsAsTwo,
+		PageFaultCycles: cfg.PageFaultCycles,
+		PageFaultInstrs: cfg.PageFaultInstrs,
+		ZeroFillCycles:  cfg.ZeroFillCycles,
+		ZeroFillInstrs:  cfg.ZeroFillInstrs,
+		Seed:            cfg.Seed,
+	}
+	if cfg.DCache != nil {
+		r.DCache = *cfg.DCache
+	}
+	if cfg.ICache != nil {
+		r.ICache = *cfg.ICache
+	}
+	if cfg.TLB != nil {
+		r.TLB = *cfg.TLB
+	}
+	if r.PageFaultCycles == 0 {
+		r.PageFaultCycles = defaultPageFaultCycles
+	}
+	if r.PageFaultInstrs == 0 {
+		r.PageFaultInstrs = defaultPageFaultInstrs
+	}
+	if r.ZeroFillCycles == 0 {
+		r.ZeroFillCycles = defaultZeroFillCycles
+	}
+	if r.ZeroFillInstrs == 0 {
+		r.ZeroFillInstrs = defaultZeroFillInstrs
+	}
+	return r
+}
+
 // New builds a CPU with the given configuration.
 func New(cfg Config) *CPU {
-	dc := sp2DCacheConfig()
-	if cfg.DCache != nil {
-		dc = *cfg.DCache
-	}
-	ic := sp2ICacheConfig()
-	if cfg.ICache != nil {
-		ic = *cfg.ICache
-	}
-	tc := sp2TLBConfig()
-	if cfg.TLB != nil {
-		tc = *cfg.TLB
-	}
-	if cfg.PageFaultCycles == 0 {
-		cfg.PageFaultCycles = defaultPageFaultCycles
-	}
-	if cfg.PageFaultInstrs == 0 {
-		cfg.PageFaultInstrs = defaultPageFaultInstrs
-	}
-	if cfg.ZeroFillCycles == 0 {
-		cfg.ZeroFillCycles = defaultZeroFillCycles
-	}
-	if cfg.ZeroFillInstrs == 0 {
-		cfg.ZeroFillInstrs = defaultZeroFillInstrs
-	}
+	return NewResolved(cfg.Resolve())
+}
+
+// NewResolved builds a CPU from an already-resolved configuration.
+func NewResolved(r Resolved) *CPU {
 	c := &CPU{
-		cfg:    cfg,
-		dcache: cache.New(dc),
-		icache: cache.New(ic),
-		tlb:    tlb.New(tc),
+		cfg:    r,
+		dcache: cache.New(r.DCache),
+		icache: cache.New(r.ICache),
+		tlb:    tlb.New(r.TLB),
 		mon:    hpm.New(),
-		rnd:    rng.New(cfg.Seed),
+		rnd:    rng.New(r.Seed),
 	}
-	if cfg.MemoryBytes > 0 {
-		c.vmm = vm.New(cfg.MemoryBytes, tc.PageBytes)
+	if r.MemoryBytes > 0 {
+		c.vmm = vm.New(r.MemoryBytes, r.TLB.PageBytes)
 	}
 	return c
 }
@@ -246,7 +311,7 @@ func (c *CPU) Cycle() uint64 { return c.cycle }
 // counter under the current mode.
 func (c *CPU) creditCycles() {
 	if c.cycle > c.lastCount {
-		c.mon.Signal(hpm.SigCycles, c.cycle-c.lastCount)
+		c.signal(hpm.SigCycles, c.cycle-c.lastCount)
 		c.lastCount = c.cycle
 	}
 }
@@ -358,6 +423,7 @@ func (c *CPU) drain() {
 	latest = max2(latest, max2(c.fpuFree[0], c.fpuFree[1]))
 	latest = max2(latest, max2(c.fxuFree[0], c.fxuFree[1]))
 	c.advanceTo(latest)
+	c.flushPend()
 	c.stats.Cycles = c.cycle
 }
 
@@ -373,7 +439,7 @@ func (c *CPU) execute(in *isa.Instr) {
 	// Instruction fetch through the I-cache; a miss stalls the pipeline
 	// while the line reloads.
 	if !c.icache.Access(in.PC, false) {
-		c.mon.Signal(hpm.SigICacheReload, 1)
+		c.signal(hpm.SigICacheReload, 1)
 		c.advanceTo(c.cycle + units.CacheMissPenaltyCycles)
 	}
 
@@ -454,21 +520,21 @@ func (c *CPU) countFPU(unit int, op isa.Op) {
 		instrSig, addSig, mulSig, divSig, fmaSig, sqrtSig =
 			hpm.SigFPU1Instr, hpm.SigFPU1Add, hpm.SigFPU1Mul, hpm.SigFPU1Div, hpm.SigFPU1FMA, hpm.SigFPU1Sqrt
 	}
-	c.mon.Signal(instrSig, 1)
+	c.signal(instrSig, 1)
 	switch op {
 	case isa.OpFAdd:
-		c.mon.Signal(addSig, 1)
+		c.signal(addSig, 1)
 	case isa.OpFMul:
-		c.mon.Signal(mulSig, 1)
+		c.signal(mulSig, 1)
 	case isa.OpFDiv:
-		c.mon.Signal(divSig, 1)
+		c.signal(divSig, 1)
 	case isa.OpFSqrt:
-		c.mon.Signal(sqrtSig, 1)
+		c.signal(sqrtSig, 1)
 	case isa.OpFMA:
 		// The fma's add lands in the add counter, the fma itself in the
 		// muladd counter (paper §5).
-		c.mon.Signal(addSig, 1)
-		c.mon.Signal(fmaSig, 1)
+		c.signal(addSig, 1)
+		c.signal(fmaSig, 1)
 	}
 }
 
@@ -500,20 +566,20 @@ func (c *CPU) executeFXU(in *isa.Instr) {
 	}
 
 	if unit == 0 {
-		c.mon.Signal(hpm.SigFXU0Instr, 1)
+		c.signal(hpm.SigFXU0Instr, 1)
 	} else {
-		c.mon.Signal(hpm.SigFXU1Instr, 1)
+		c.signal(hpm.SigFXU1Instr, 1)
 	}
 	if in.Op.NeedsFXU1() {
-		c.mon.Signal(hpm.SigFXUAddrMulDiv, 1)
+		c.signal(hpm.SigFXUAddrMulDiv, 1)
 	}
 	if c.cfg.QuadCountsAsTwo && in.Op.IsQuad() {
 		// Ablation: count the second doubleword as another instruction on
 		// the same unit.
 		if unit == 0 {
-			c.mon.Signal(hpm.SigFXU0Instr, 1)
+			c.signal(hpm.SigFXU0Instr, 1)
 		} else {
-			c.mon.Signal(hpm.SigFXU1Instr, 1)
+			c.signal(hpm.SigFXU1Instr, 1)
 		}
 		c.stats.Instructions++
 	}
@@ -521,9 +587,9 @@ func (c *CPU) executeFXU(in *isa.Instr) {
 	if in.Op.IsMemory() {
 		c.stats.MemRefs++
 		if in.Op.IsStore() {
-			c.mon.Signal(hpm.SigFXUStores, 1)
+			c.signal(hpm.SigFXUStores, 1)
 		} else {
-			c.mon.Signal(hpm.SigFXULoads, 1)
+			c.signal(hpm.SigFXULoads, 1)
 		}
 		c.accessMemory(in)
 	}
@@ -548,21 +614,21 @@ func (c *CPU) accessMemory(in *isa.Instr) {
 	}
 
 	if !c.tlb.Translate(in.Addr) {
-		c.mon.Signal(hpm.SigTLBMiss, 1)
+		c.signal(hpm.SigTLBMiss, 1)
 		penalty := uint64(c.rnd.IntRange(units.TLBMissPenaltyMinCycles, units.TLBMissPenaltyMaxCycles))
 		c.advanceTo(c.cycle + penalty)
 	}
 
-	castoutsBefore := c.dcache.Stats().Castouts
+	castoutsBefore := c.dcache.Castouts()
 	if !c.dcache.Access(in.Addr, isStore) {
-		c.mon.Signal(hpm.SigDCacheMiss, 1)
-		c.mon.Signal(hpm.SigDCacheReload, 1)
+		c.signal(hpm.SigDCacheMiss, 1)
+		c.signal(hpm.SigDCacheReload, 1)
 		// FXU0 performs the D-cache directory search for the miss.
-		c.mon.Signal(hpm.SigFXU0DirSearch, 1)
+		c.signal(hpm.SigFXU0DirSearch, 1)
 		c.advanceTo(c.cycle + units.CacheMissPenaltyCycles)
 	}
-	if co := c.dcache.Stats().Castouts - castoutsBefore; co > 0 {
-		c.mon.Signal(hpm.SigDCacheStore, co)
+	if co := c.dcache.Castouts() - castoutsBefore; co > 0 {
+		c.signal(hpm.SigDCacheStore, co)
 	}
 }
 
@@ -571,6 +637,7 @@ func (c *CPU) accessMemory(in *isa.Instr) {
 func (c *CPU) zeroFillFault() {
 	c.stats.PageFaults++
 	c.creditCycles()
+	c.flushPend()
 	c.mon.SetMode(hpm.System)
 	n := c.cfg.ZeroFillInstrs
 	c.mon.Signal(hpm.SigFXU0Instr, n*4/10)
@@ -588,6 +655,7 @@ func (c *CPU) zeroFillFault() {
 func (c *CPU) pageFault(dirty bool) {
 	c.stats.PageFaults++
 	c.creditCycles()
+	c.flushPend()
 	c.mon.SetMode(hpm.System)
 
 	// Handler instruction mix: storage references and branches dominate.
@@ -620,13 +688,13 @@ func (c *CPU) executeICU(in *isa.Instr) {
 	c.takeSlot(isa.UnitICU)
 	switch in.Op {
 	case isa.OpBranch:
-		c.mon.Signal(hpm.SigICUType1, 1)
-		c.mon.Signal(hpm.SigBranchTaken, 1)
+		c.signal(hpm.SigICUType1, 1)
+		c.signal(hpm.SigBranchTaken, 1)
 		// A taken branch ends the dispatch group: the next instruction
 		// dispatches no earlier than the following cycle.
 		c.advanceTo(c.cycle + 1)
 	case isa.OpCondReg:
-		c.mon.Signal(hpm.SigICUType2, 1)
+		c.signal(hpm.SigICUType2, 1)
 	}
 }
 

@@ -39,29 +39,13 @@ type Profile struct {
 // Measure runs n instructions of the stream on a fresh CPU with the given
 // configuration and returns the resulting rate signature.
 func Measure(name string, stream isa.Stream, cfg power2.Config, n uint64) Profile {
-	cpu := power2.New(cfg)
-	cpu.RunLimited(stream, n)
-	elapsed := cpu.Elapsed()
-	if elapsed <= 0 {
-		panic(fmt.Sprintf("profile: kernel %q produced no cycles", name))
-	}
-	d := hpm.Sub(hpm.Snapshot{}, cpu.Monitor().Snapshot())
-	var p Profile
-	p.Name = name
-	for m := hpm.Mode(0); m < 2; m++ {
-		for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
-			p.EventsPerSec[m][ev] = float64(d.Get(m, ev)) / elapsed
-		}
-	}
-	p.Mflops = hpm.UserRates(d, elapsed).MflopsAll
-	p.TrueDivPerSec = float64(cpu.Monitor().TrueDivides(hpm.User)) / elapsed
-	return p
+	return MeasureRun(name, stream, cfg, n).Profile()
 }
 
 // MeasureKernel measures a kernel from the registry under the given CPU
 // configuration.
 func MeasureKernel(k kernels.Kernel, cfg power2.Config, n uint64) Profile {
-	return Measure(k.Name, k.New(cfg.Seed), cfg, n)
+	return MeasureRunKernel(k, cfg, n).Profile()
 }
 
 // Scale returns a copy of the profile with every rate multiplied by f —
@@ -130,7 +114,11 @@ func (p Profile) WithDMA(readsPerSec, writesPerSec float64) Profile {
 // totals. Fractional counts are rounded stochastically with rnd so rare
 // events (I-cache misses, DMA on short phases) keep the right expectation;
 // a nil rnd truncates.
-func (p Profile) Apply(acc *hpm.Accumulator, seconds float64, rnd *rng.Source) {
+//
+// The receiver is a pointer purely to avoid copying the ~370-byte rate
+// table once per job per tick on the campaign's hot path; Apply never
+// mutates the profile.
+func (p *Profile) Apply(acc *hpm.Accumulator, seconds float64, rnd *rng.Source) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("profile: negative apply duration %v", seconds))
 	}
@@ -171,10 +159,19 @@ func MeasureStandard(seed uint64) Standard {
 }
 
 // MeasureStandardWorkers builds the standard profile set with at most
-// workers kernel micro-simulations in flight. Each measurement runs on its
-// own freshly-seeded CPU and writes its own field of the result, so the
-// profiles are bit-identical for every worker count.
+// workers kernel micro-simulations in flight, consulting (and filling)
+// the DefaultStore. Each measurement runs on its own freshly-seeded CPU
+// and writes its own field of the result, so the profiles are
+// bit-identical for every worker count — and, because a store hit returns
+// exactly what the simulation would compute, for store hits and misses.
 func MeasureStandardWorkers(seed uint64, workers int) Standard {
+	return MeasureStandardStore(DefaultStore, seed, workers)
+}
+
+// MeasureStandardStore builds the standard profile set through the given
+// store; a nil store bypasses memoization entirely (the reference path
+// the determinism guard compares against).
+func MeasureStandardStore(store *Store, seed uint64, workers int) Standard {
 	base := power2.Config{Seed: seed + 1}
 	mustKernel := func(name string) kernels.Kernel {
 		k, ok := kernels.ByName(name)
@@ -182,6 +179,12 @@ func MeasureStandardWorkers(seed uint64, workers int) Standard {
 			panic("profile: missing kernel " + name)
 		}
 		return k
+	}
+	measure := func(k kernels.Kernel, cfg power2.Config, instrs uint64) Profile {
+		if store == nil {
+			return MeasureKernel(k, cfg, instrs)
+		}
+		return store.MeasureProfile(k, cfg, instrs)
 	}
 	pagingCfg := power2.Config{Seed: seed + 2, MemoryBytes: 32 << 20}
 	var std Standard
@@ -203,7 +206,7 @@ func MeasureStandardWorkers(seed uint64, workers int) Standard {
 	}
 	if workers <= 1 {
 		for _, t := range tasks {
-			*t.dst = MeasureKernel(mustKernel(t.kernel), t.cfg, t.instrs)
+			*t.dst = measure(mustKernel(t.kernel), t.cfg, t.instrs)
 		}
 		return std
 	}
@@ -216,7 +219,7 @@ func MeasureStandardWorkers(seed uint64, workers int) Standard {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			*t.dst = MeasureKernel(mustKernel(t.kernel), t.cfg, t.instrs)
+			*t.dst = measure(mustKernel(t.kernel), t.cfg, t.instrs)
 		}()
 	}
 	wg.Wait()

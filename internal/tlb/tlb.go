@@ -64,6 +64,13 @@ type TLB struct {
 	pageShift uint
 	stats     Stats
 	tick      uint64
+
+	// last points at the entry that served the previous translation.
+	// Runs of references to the same page (the common case: pages are 16
+	// cache lines) hit it without the set scan. Checking last.valid &&
+	// last.vpn == vpn is exactly the scan's hit test for that entry, so
+	// the shortcut cannot change any outcome; it is reset on Flush.
+	last *entry
 }
 
 // New builds a TLB; it panics on invalid geometry.
@@ -101,11 +108,17 @@ func (t *TLB) PageOf(addr uint64) uint64 { return addr >> t.pageShift }
 func (t *TLB) Translate(addr uint64) bool {
 	t.tick++
 	vpn := addr >> t.pageShift
+	if l := t.last; l != nil && l.valid && l.vpn == vpn {
+		l.lastUse = t.tick
+		t.stats.Hits++
+		return true
+	}
 	setIdx := vpn & t.setMask
 	set := t.sets[setIdx]
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
 			set[i].lastUse = t.tick
+			t.last = &set[i]
 			t.stats.Hits++
 			return true
 		}
@@ -122,6 +135,7 @@ func (t *TLB) Translate(addr uint64) bool {
 		}
 	}
 	set[victim] = entry{vpn: vpn, valid: true, lastUse: t.tick}
+	t.last = &set[victim]
 	return false
 }
 
@@ -143,4 +157,5 @@ func (t *TLB) Flush() {
 			t.sets[s][w] = entry{}
 		}
 	}
+	t.last = nil
 }

@@ -49,14 +49,29 @@ type frame struct {
 
 // Manager is a per-node virtual memory manager. Not safe for concurrent
 // use; each simulated node owns one.
+//
+// Storage is allocated lazily: a node that never touches memory (the
+// common case in the campaign, where job behaviour is extrapolated from
+// profiles rather than micro-simulated per node) costs a few words, not
+// nframes of frame table and map buckets. The frame table grows one frame
+// at a time as first-touch faults claim frames, so it reaches nframes only
+// if the workload actually fills memory.
 type Manager struct {
 	pageBytes uint64
-	frames    []frame
-	index     map[uint64]int      // vpn -> frame
-	seen      map[uint64]struct{} // pages ever resident (zero-fill vs page-in)
+	nframes   int                 // physical frame count (fixed geometry)
+	frames    []frame             // allocated frames; len grows up to nframes
+	index     map[uint64]int      // vpn -> frame; nil until first fault
+	seen      map[uint64]struct{} // pages ever resident; nil until first fault
 	hand      int
 	free      int // frames never yet used (fast path before memory fills)
 	stats     Stats
+
+	// lastFi caches the frame that served the previous touch (-1 when
+	// unknown). Consecutive references land on the same page far more
+	// often than not, and the check — frame valid with matching vpn — is
+	// equivalent to the index-map hit for that page, so the shortcut
+	// skips the map lookup without changing any outcome.
+	lastFi int
 }
 
 // New builds a manager with capacity for memoryBytes of resident pages.
@@ -71,15 +86,14 @@ func New(memoryBytes uint64, pageBytes int) *Manager {
 	}
 	return &Manager{
 		pageBytes: uint64(pageBytes),
-		frames:    make([]frame, n),
-		index:     make(map[uint64]int, n),
-		seen:      make(map[uint64]struct{}, n),
+		nframes:   n,
 		free:      n,
+		lastFi:    -1,
 	}
 }
 
 // Frames reports the number of physical page frames.
-func (m *Manager) Frames() int { return len(m.frames) }
+func (m *Manager) Frames() int { return m.nframes }
 
 // ResidentPages reports how many frames currently hold pages.
 func (m *Manager) ResidentPages() int { return len(m.index) }
@@ -98,11 +112,21 @@ func (m *Manager) PageOf(addr uint64) uint64 { return addr / m.pageBytes }
 func (m *Manager) Touch(addr uint64, dirty bool) Fault {
 	m.stats.Touches++
 	vpn := addr / m.pageBytes
+	if m.lastFi >= 0 {
+		if f := &m.frames[m.lastFi]; f.valid && f.vpn == vpn {
+			f.referenced = true
+			if dirty {
+				f.dirty = true
+			}
+			return NoFault
+		}
+	}
 	if fi, ok := m.index[vpn]; ok {
 		m.frames[fi].referenced = true
 		if dirty {
 			m.frames[fi].dirty = true
 		}
+		m.lastFi = fi
 		return NoFault
 	}
 
@@ -113,18 +137,28 @@ func (m *Manager) Touch(addr uint64, dirty bool) Fault {
 		m.stats.PageIns++
 	} else {
 		m.stats.ZeroFills++
+		if m.seen == nil {
+			m.seen = make(map[uint64]struct{})
+		}
 		m.seen[vpn] = struct{}{}
 	}
 
 	var fi int
 	if m.free > 0 {
-		fi = len(m.frames) - m.free
+		fi = m.nframes - m.free
 		m.free--
+		if fi == len(m.frames) {
+			m.frames = append(m.frames, frame{})
+		}
 	} else {
 		fi = m.evict()
 	}
 	m.frames[fi] = frame{vpn: vpn, valid: true, referenced: true, dirty: dirty}
+	if m.index == nil {
+		m.index = make(map[uint64]int)
+	}
 	m.index[vpn] = fi
+	m.lastFi = fi
 	return kind
 }
 
@@ -170,13 +204,14 @@ func (m *Manager) ReleaseAll() {
 		m.frames[fi] = frame{}
 		delete(m.index, vpn)
 	}
-	m.seen = make(map[uint64]struct{}, len(m.frames))
-	m.free = len(m.frames)
+	m.seen = nil
+	m.free = m.nframes
 	m.hand = 0
+	m.lastFi = -1
 }
 
 // Oversubscription reports the ratio of a hypothetical working set (in
 // bytes) to physical memory; values above 1.0 predict steady-state paging.
 func (m *Manager) Oversubscription(workingSetBytes uint64) float64 {
-	return float64(workingSetBytes) / float64(uint64(len(m.frames))*m.pageBytes)
+	return float64(workingSetBytes) / float64(uint64(m.nframes)*m.pageBytes)
 }
