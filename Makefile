@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint lint-fixtures bench benchdiff bench-smoke ci
+.PHONY: build test race vet lint lint-fixtures bench benchdiff bench-smoke fuzz-smoke property ci
 
 build:
 	$(GO) build ./...
@@ -37,5 +38,17 @@ benchdiff:
 # just to prove the bench harness still builds and runs (used by CI).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'CPUSimulation|CampaignDay' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json
+
+# Short fuzzing pass over every fuzz target (committed corpora plus
+# FUZZTIME of fresh exploration per target). go test allows one -fuzz
+# pattern per invocation, so each target gets its own run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanInvariants$$' -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run '^$$' -fuzz '^FuzzEpilogueDelay$$' -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run '^$$' -fuzz '^FuzzProfileCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
+
+# Every property test in the tree, under the race detector.
+property:
+	$(GO) test -run Property -race ./...
 
 ci: build vet test race lint lint-fixtures

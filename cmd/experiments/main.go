@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cliperf"
+	"repro/internal/faults"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,6 +40,7 @@ func main() {
 	f4 := flag.Bool("fig4", false, "Figure 4: 16-node job history")
 	f5 := flag.Bool("fig5", false, "Figure 5: performance vs system intervention")
 	whatif := flag.Bool("whatif", false, "what-if: the I/O-wait counter selection the paper recommends")
+	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix when running fresh; reductions use covered time")
 	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
@@ -87,7 +89,18 @@ func main() {
 		cfg.Days = *days
 		cfg.Nodes = *nodes
 		cfg.Workers = *workers
+		if *withFaults {
+			f := faults.Default()
+			cfg.Faults = &f
+		}
 		res = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+	}
+
+	// A faulted campaign — fresh or loaded from a trace — leads with its
+	// coverage report, so every table below is read against what the
+	// collection actually observed.
+	if cov := analysis.RenderCoverage(res); cov != "" {
+		fmt.Println(cov)
 	}
 
 	emit := func(want bool, text string) {

@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/node"
@@ -30,6 +31,8 @@ func main() {
 	kernel := flag.String("kernel", "cfd", "kernel each node runs (see internal/kernels)")
 	chunk := flag.Uint64("chunk", 200_000, "instructions simulated per node per tick")
 	tick := flag.Duration("tick", 250*time.Millisecond, "wall-clock interval between simulation bursts")
+	flaky := flag.Float64("flaky", 0, "probability a counter read fails transiently (0 disables; exercises client retry paths)")
+	flakySeed := flag.Uint64("flaky-seed", 1, "seed for the deterministic read-failure stream")
 	flag.Parse()
 
 	k, ok := kernels.ByName(*kernel)
@@ -44,7 +47,11 @@ func main() {
 	for i := range nodes {
 		nodes[i] = node.New(node.Config{ID: i})
 		streams[i] = k.New(uint64(i) + 1)
-		daemon.AddSource(nodes[i])
+		if *flaky > 0 {
+			daemon.AddSource(faults.NewUnreliableSource(nodes[i], *flakySeed, *flaky))
+		} else {
+			daemon.AddSource(nodes[i])
+		}
 	}
 
 	bound, err := daemon.Start(*addr)

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-o db.json.gz] [-csv jobs.csv]
-//	      [-profile-cache profiles.json.gz] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-faults] [-o db.json.gz]
+//	      [-csv jobs.csv] [-profile-cache profiles.json.gz] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/cliperf"
+	"repro/internal/faults"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -41,6 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines (1 = serial; results are seed-identical at any setting)")
 	verbose := flag.Bool("v", false, "print per-day detail")
+	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix (crashes, cron misses, daemon restarts) and report coverage")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
@@ -68,6 +70,10 @@ func main() {
 	cfg.Days = *days
 	cfg.Nodes = *nodes
 	cfg.Workers = *workers
+	if *withFaults {
+		f := faults.Default()
+		cfg.Faults = &f
+	}
 
 	fmt.Printf("measuring kernel profiles...\n")
 	std := profile.MeasureStandardWorkers(*seed, *workers)
@@ -100,8 +106,8 @@ func main() {
 	}
 
 	var gflops, utils []float64
-	for _, d := range res.Days {
-		gflops = append(gflops, d.Gflops())
+	for i, d := range res.Days {
+		gflops = append(gflops, res.DayGflops(i))
 		utils = append(utils, d.Utilization(cfg.Nodes))
 	}
 
@@ -114,10 +120,10 @@ func main() {
 
 	good := 0
 	var goodR []float64
-	for _, d := range res.Days {
-		if d.Gflops() > 2.0 {
+	for i := range res.Days {
+		if res.DayGflops(i) > 2.0 {
 			good++
-			goodR = append(goodR, d.PerNodeRates(cfg.Nodes).MflopsAll)
+			goodR = append(goodR, res.DayPerNodeRates(i).MflopsAll)
 		}
 	}
 	fmt.Printf("days > 2.0 Gflops   : %d of %d [30 of 270], avg %.1f Mflops/node [17.4]\n",
@@ -143,5 +149,9 @@ func main() {
 	fmt.Printf("walltime by node count:\n")
 	for _, k := range keys {
 		fmt.Printf("  %3d nodes: %10.0f s\n", k, byNodes[k])
+	}
+
+	if res.Coverage != nil {
+		fmt.Printf("\n%s", res.Coverage.Render())
 	}
 }

@@ -1,0 +1,17 @@
+package analysis
+
+import (
+	"repro/internal/workload"
+)
+
+// RenderCoverage formats the campaign's collection-coverage report — which
+// samples the fault layer lost to crashes, cron misses and daemon
+// restarts, and how much of the record the reductions above actually
+// stand on. A campaign run without fault injection has a complete record
+// and renders nothing.
+func RenderCoverage(res workload.Result) string {
+	if res.Coverage == nil {
+		return ""
+	}
+	return res.Coverage.Render()
+}

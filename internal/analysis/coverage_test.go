@@ -1,0 +1,110 @@
+package analysis
+
+// Tests for the coverage-aware reduction path: a faulted campaign's
+// figures and tables are computed over observed node-seconds, not the
+// wall clock, and the coverage renderer reports what was lost.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+var (
+	faultedOnce sync.Once
+	faultedRes  workload.Result
+)
+
+// faultedCampaign runs a short campaign with an aggressive lossy mix once
+// for the whole package.
+func faultedCampaign(t *testing.T) workload.Result {
+	t.Helper()
+	faultedOnce.Do(func() {
+		cfg := workload.DefaultConfig(29)
+		cfg.Days = 6
+		f := faults.Default()
+		f.CrashProbPerNodeDay = 0.05 // enough outages to move coverage visibly
+		cfg.Faults = &f
+		std := profile.MeasureStandard(29)
+		faultedRes = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+	})
+	return faultedRes
+}
+
+func TestRenderCoverageEmptyWithoutFaults(t *testing.T) {
+	if s := RenderCoverage(campaign(t)); s != "" {
+		t.Fatalf("clean campaign rendered a coverage report:\n%s", s)
+	}
+}
+
+func TestRenderCoverageReportsLosses(t *testing.T) {
+	res := faultedCampaign(t)
+	if res.Coverage == nil || res.Coverage.Total.Captured == res.Coverage.Total.Expected {
+		t.Fatal("faulted campaign lost nothing; the test exercises no gap")
+	}
+	s := RenderCoverage(res)
+	for _, want := range []string{"coverage report", "captured", "worst day"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("coverage render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFaultedFiguresUseCoveredTime: Figure 1 carries the coverage-aware
+// per-day rates, and on days whose record stayed within their own wall
+// clock the correction never lowers the rate (same delta, no larger a
+// divisor). Days whose first capture bridged midnight may dip below the
+// naive rate — the bridged interval's seconds arrive with its counts.
+func TestFaultedFiguresUseCoveredTime(t *testing.T) {
+	res := faultedCampaign(t)
+	f1 := ComputeFigure1(res)
+	if len(f1.DailyGflops) != len(res.Days) {
+		t.Fatalf("figure 1 has %d days, campaign has %d", len(f1.DailyGflops), len(res.Days))
+	}
+	wall := 86400 * float64(res.Config.Nodes)
+	corrected := false
+	for i, d := range res.Days {
+		naive := d.Gflops()
+		aware := res.DayGflops(i)
+		if res.DayCoveredNodeSeconds(i) <= wall && aware < naive-1e-9 {
+			t.Errorf("day %d: coverage-aware rate %.3f below naive %.3f despite a within-day record", i, aware, naive)
+		}
+		if aware > naive+1e-9 {
+			corrected = true
+		}
+		if f1.DailyGflops[i] != aware {
+			t.Errorf("day %d: figure 1 carries %.3f, coverage-aware rate is %.3f", i, f1.DailyGflops[i], aware)
+		}
+	}
+	if !corrected {
+		t.Error("no day's rate was corrected upward; the fault mix left no gaps")
+	}
+}
+
+// TestFaultedTablesReduceOverCoveredTime: the good-day machinery and the
+// pooled-rate divisor both follow the ledger on a faulted campaign.
+func TestFaultedTablesReduceOverCoveredTime(t *testing.T) {
+	res := faultedCampaign(t)
+	good := goodDayIndices(res)
+	if len(good) == 0 {
+		t.Skip("no good days in the faulted window")
+	}
+	t2 := ComputeTable2(res)
+	if t2.GoodDays != len(good) {
+		t.Fatalf("Table 2 counted %d good days, index form found %d", t2.GoodDays, len(good))
+	}
+	covered := 0.0
+	for _, i := range good {
+		covered += res.DayCoveredNodeSeconds(i)
+	}
+	if wall := 86400 * float64(res.Config.Nodes) * float64(len(good)); covered >= wall {
+		t.Fatalf("faulted sample claims full coverage (%.0f of %.0f node-seconds)", covered, wall)
+	}
+	if r := pooledRates(res, good); r.MflopsAll <= 0 {
+		t.Fatalf("pooled rates over covered time are empty: %+v", r)
+	}
+}

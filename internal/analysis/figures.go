@@ -26,11 +26,14 @@ type Figure1Data struct {
 // averages (the paper does not state its window; two weeks reads well).
 const movingWindow = 14
 
-// ComputeFigure1 builds the daily series.
+// ComputeFigure1 builds the daily series. Rates come through the
+// coverage-aware day helpers so a faulted campaign's gappy record is
+// reduced over observed node-seconds; utilisation stays scheduler truth
+// (busy node-seconds are known exactly whether or not samples arrived).
 func ComputeFigure1(res workload.Result) Figure1Data {
 	var daily, util []float64
-	for _, d := range res.Days {
-		daily = append(daily, d.Gflops())
+	for i, d := range res.Days {
+		daily = append(daily, res.DayGflops(i))
 		util = append(util, d.Utilization(res.Config.Nodes))
 	}
 	return figure1FromSeries(daily, util)
@@ -200,7 +203,7 @@ type Figure5Data struct {
 // ComputeFigure5 extracts one point per campaign day with any activity.
 func ComputeFigure5(res workload.Result) Figure5Data {
 	var f Figure5Data
-	for _, d := range res.Days {
+	for i, d := range res.Days {
 		//hpmlint:ignore floatcompare exact zero means "no samples accumulated", not a computed value
 		if d.BusyNodeSeconds == 0 {
 			continue
@@ -210,7 +213,7 @@ func ComputeFigure5(res workload.Result) Figure5Data {
 			ratio = 5 // the paper's axis tops out at 5
 		}
 		f.Ratio = append(f.Ratio, ratio)
-		f.MflopsPer = append(f.MflopsPer, d.PerNodeRates(res.Config.Nodes).MflopsAll)
+		f.MflopsPer = append(f.MflopsPer, res.DayPerNodeRates(i).MflopsAll)
 	}
 	f.Corr = stats.Correlation(f.Ratio, f.MflopsPer)
 	return f

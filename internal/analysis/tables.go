@@ -21,9 +21,20 @@ const GoodDayThresholdGflops = 2.0
 // GoodDays returns the days above the threshold.
 func GoodDays(res workload.Result) []workload.Day {
 	var out []workload.Day
-	for _, d := range res.Days {
-		if d.Gflops() > GoodDayThresholdGflops {
-			out = append(out, d)
+	for _, i := range goodDayIndices(res) {
+		out = append(out, res.Days[i])
+	}
+	return out
+}
+
+// goodDayIndices is the index form of GoodDays. The reductions below work
+// on indices rather than Day values so a faulted campaign's coverage
+// ledger (keyed by day index) stays attached to each day.
+func goodDayIndices(res workload.Result) []int {
+	var out []int
+	for i := range res.Days {
+		if res.DayGflops(i) > GoodDayThresholdGflops {
+			out = append(out, i)
 		}
 	}
 	return out
@@ -64,20 +75,20 @@ type Table2 struct {
 // the good day whose Mflops is closest to the sample median (the paper
 // shows "Day 45.0").
 func ComputeTable2(res workload.Result) Table2 {
-	good := GoodDays(res)
+	good := goodDayIndices(res)
 	t := Table2{GoodDays: len(good), TotalDays: len(res.Days)}
 	if len(good) == 0 {
 		return t
 	}
 	nodes := res.Config.Nodes
 	var mips, mops, mf, util, gfl []float64
-	for _, d := range good {
-		r := d.PerNodeRates(nodes)
+	for _, idx := range good {
+		r := res.DayPerNodeRates(idx)
 		mips = append(mips, r.Mips)
 		mops = append(mops, r.Mops)
 		mf = append(mf, r.MflopsAll)
-		util = append(util, d.Utilization(nodes))
-		gfl = append(gfl, d.Gflops())
+		util = append(util, res.Days[idx].Utilization(nodes))
+		gfl = append(gfl, res.DayGflops(idx))
 	}
 	t.AvgMips, t.StdMips = stats.Mean(mips), stats.StdDev(mips)
 	t.AvgMops, t.StdMops = stats.Mean(mops), stats.StdDev(mops)
@@ -92,8 +103,8 @@ func ComputeTable2(res workload.Result) Table2 {
 			bestIdx = i
 		}
 	}
-	t.Day = good[bestIdx].PerNodeRates(nodes)
-	t.DayIndex = good[bestIdx].Index
+	t.Day = res.DayPerNodeRates(good[bestIdx])
+	t.DayIndex = res.Days[good[bestIdx]].Index
 	return t
 }
 
@@ -144,20 +155,19 @@ type Table3 struct {
 
 // ComputeTable3 reduces the good-day sample to the full breakdown.
 func ComputeTable3(res workload.Result) Table3 {
-	good := GoodDays(res)
+	good := goodDayIndices(res)
 	var t Table3
 	if len(good) == 0 {
 		return t
 	}
-	nodes := res.Config.Nodes
 	t2 := ComputeTable2(res)
 	t.DayIndex = t2.DayIndex
 	day := t2.Day
 
 	collect := func(f func(hpm.Rates) float64) (avg, std float64) {
 		var xs []float64
-		for _, d := range good {
-			xs = append(xs, f(d.PerNodeRates(nodes)))
+		for _, idx := range good {
+			xs = append(xs, f(res.DayPerNodeRates(idx)))
 		}
 		return stats.Mean(xs), stats.StdDev(xs)
 	}
@@ -199,7 +209,7 @@ func ComputeTable3(res workload.Result) Table3 {
 	)
 
 	// Text statistics from the sample averages.
-	avgRates := averageRates(good, nodes)
+	avgRates := pooledRates(res, good)
 	t.FMAFraction = avgRates.FMAFraction()
 	t.FPUAsymmetry = avgRates.FPUAsymmetry()
 	t.FlopsPerMem = avgRates.FlopsPerMemRef()
@@ -210,14 +220,21 @@ func ComputeTable3(res workload.Result) Table3 {
 	return t
 }
 
-// averageRates sums the sample's deltas so derived ratios use pooled
-// counts rather than averages of ratios.
-func averageRates(days []workload.Day, nodes int) hpm.Rates {
+// pooledRates sums the sample's deltas so derived ratios use pooled
+// counts rather than averages of ratios. The divisor is the node-seconds
+// the collection actually covered over those days — the full wall clock
+// for a clean campaign, the ledger's covered time for a faulted one.
+func pooledRates(res workload.Result, idxs []int) hpm.Rates {
 	var total hpm.Delta
-	for _, d := range days {
-		total.Add(d.Delta)
+	covered := 0.0
+	for _, i := range idxs {
+		total.Add(res.Days[i].Delta)
+		covered += res.DayCoveredNodeSeconds(i)
 	}
-	return hpm.UserRates(total, 86400*float64(nodes)*float64(len(days)))
+	if covered <= 0 {
+		return hpm.Rates{}
+	}
+	return hpm.UserRates(total, covered)
 }
 
 // Render formats Table 3 plus the derived text statistics.
@@ -259,10 +276,10 @@ type Table4Row struct {
 // measurements. seqRates and btRates come from the harness: a microsim of
 // the sequential kernel and a real 49-rank MPI run of the BT kernel.
 func ComputeTable4(res workload.Result, seq, bt49 Table4Row) Table4 {
-	good := GoodDays(res)
+	good := goodDayIndices(res)
 	var w Table4Row
 	if len(good) > 0 {
-		r := averageRates(good, res.Config.Nodes)
+		r := pooledRates(res, good)
 		w = Table4Row{
 			CacheMissRatio: r.CacheMissRatio(),
 			TLBMissRatio:   r.TLBMissRatio(),

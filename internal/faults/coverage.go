@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Coverage is the sample-accounting ledger for one window (a day, or the
+// whole campaign): how many node-samples the cron schedule owed, how many
+// arrived, and where the rest went. The core invariant — pinned by the
+// property suite and asserted by Check — is
+//
+//	Captured + Dropped + Down == Expected
+//
+// with Rebased a subset of Captured (reads that arrived but could only
+// re-baseline after a counter reset) and Duplicates extra reads beyond
+// the schedule (never part of the sum, never a source of counts).
+type Coverage struct {
+	// Expected is the node-samples the cron schedule owed the window.
+	Expected int64
+	// Captured is the scheduled reads that arrived (Rebased included).
+	Captured int64
+	// Dropped is samples lost to cron misses.
+	Dropped int64
+	// Down is samples lost to unreachable nodes (crash/reboot windows).
+	Down int64
+	// Rebased counts captured reads that re-baselined after a counter
+	// reset instead of yielding a delta.
+	Rebased int64
+	// Duplicates counts extra reads beyond the schedule.
+	Duplicates int64
+	// Resets counts counter-reset events applied (reboots and daemon
+	// restarts).
+	Resets int64
+	// DelayedEpilogues counts job records whose final counter capture was
+	// truncated by the epilogue race.
+	DelayedEpilogues int64
+	// LostNodeSeconds is the simulated node-time whose counter record was
+	// destroyed (reset gaps and epilogue truncations) rather than merely
+	// deferred to a later sample.
+	LostNodeSeconds float64
+}
+
+// Add folds another ledger into this one.
+func (c *Coverage) Add(o Coverage) {
+	c.Expected += o.Expected
+	c.Captured += o.Captured
+	c.Dropped += o.Dropped
+	c.Down += o.Down
+	c.Rebased += o.Rebased
+	c.Duplicates += o.Duplicates
+	c.Resets += o.Resets
+	c.DelayedEpilogues += o.DelayedEpilogues
+	c.LostNodeSeconds += o.LostNodeSeconds
+}
+
+// Check validates the accounting invariants, returning a descriptive
+// error on violation.
+func (c Coverage) Check() error {
+	if c.Captured+c.Dropped+c.Down != c.Expected {
+		return fmt.Errorf("faults: coverage does not balance: captured %d + dropped %d + down %d != expected %d",
+			c.Captured, c.Dropped, c.Down, c.Expected)
+	}
+	if c.Rebased > c.Captured {
+		return fmt.Errorf("faults: rebased %d exceeds captured %d", c.Rebased, c.Captured)
+	}
+	for _, v := range []int64{c.Expected, c.Captured, c.Dropped, c.Down, c.Rebased, c.Duplicates, c.Resets, c.DelayedEpilogues} {
+		if v < 0 {
+			return fmt.Errorf("faults: negative coverage count in %+v", c)
+		}
+	}
+	if c.LostNodeSeconds < 0 {
+		return fmt.Errorf("faults: negative LostNodeSeconds %v", c.LostNodeSeconds)
+	}
+	return nil
+}
+
+// CaptureRatio reports captured over expected samples (1 when nothing was
+// expected).
+func (c Coverage) CaptureRatio() float64 {
+	if c.Expected == 0 {
+		return 1
+	}
+	return float64(c.Captured) / float64(c.Expected)
+}
+
+// DayCoverage is one day's ledger plus the covered observation time the
+// partial-record reductions divide by.
+type DayCoverage struct {
+	Day int
+	Coverage
+	// CoveredNodeSeconds is the node-time the day's captured sample
+	// intervals actually observed: the denominator for rates over a gappy
+	// record. A clean day covers nodes * 86400.
+	CoveredNodeSeconds float64
+}
+
+// Report is the per-campaign coverage report the faulted reduction emits:
+// the campaign ledger plus the per-day rows analysis divides by.
+type Report struct {
+	Total Coverage
+	Days  []DayCoverage
+}
+
+// Check validates every ledger in the report.
+func (r *Report) Check() error {
+	if err := r.Total.Check(); err != nil {
+		return err
+	}
+	var sum Coverage
+	for _, d := range r.Days {
+		if err := d.Coverage.Check(); err != nil {
+			return fmt.Errorf("day %d: %w", d.Day, err)
+		}
+		if d.CoveredNodeSeconds < 0 {
+			return fmt.Errorf("day %d: negative CoveredNodeSeconds", d.Day)
+		}
+		sum.Add(d.Coverage)
+	}
+	if sum != r.Total {
+		return fmt.Errorf("faults: per-day ledgers sum to %+v, total says %+v", sum, r.Total)
+	}
+	return nil
+}
+
+// Render formats the report the way cmd/spsim -faults and
+// cmd/experiments print it.
+func (r *Report) Render() string {
+	var b strings.Builder
+	t := r.Total
+	fmt.Fprintf(&b, "=== coverage report (faulted collection) ===\n")
+	fmt.Fprintf(&b, "samples expected    : %d\n", t.Expected)
+	fmt.Fprintf(&b, "samples captured    : %d (%.2f%%), %d of them baseline-only after resets\n",
+		t.Captured, 100*t.CaptureRatio(), t.Rebased)
+	fmt.Fprintf(&b, "lost to cron misses : %d\n", t.Dropped)
+	fmt.Fprintf(&b, "lost to node outage : %d\n", t.Down)
+	fmt.Fprintf(&b, "duplicate reads     : %d (zero-delta, by construction)\n", t.Duplicates)
+	fmt.Fprintf(&b, "counter resets      : %d (reboots + daemon restarts)\n", t.Resets)
+	fmt.Fprintf(&b, "delayed epilogues   : %d job records truncated\n", t.DelayedEpilogues)
+	fmt.Fprintf(&b, "node-seconds lost   : %.0f\n", t.LostNodeSeconds)
+	worst, worstIdx := 2.0, -1
+	for i, d := range r.Days {
+		if ratio := d.CaptureRatio(); ratio < worst {
+			worst, worstIdx = ratio, i
+		}
+	}
+	if worstIdx >= 0 {
+		fmt.Fprintf(&b, "worst day           : day %d at %.2f%% capture\n",
+			r.Days[worstIdx].Day, 100*worst)
+	}
+	return b.String()
+}

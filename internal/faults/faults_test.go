@@ -1,0 +1,287 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/rng"
+)
+
+// TestPlanPure pins the core determinism contract: building the same plan
+// twice yields identical schedules, field for field.
+func TestPlanPure(t *testing.T) {
+	cfg := Default()
+	for day := 0; day < 8; day++ {
+		a := NewPlan(cfg, 7, day, 144, 96)
+		b := NewPlan(cfg, 7, day, 144, 96)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("day %d: identical arguments produced different plans", day)
+		}
+	}
+}
+
+// TestPlanZeroConfig: the zero config schedules nothing, so the fault
+// layer can be threaded through a campaign without perturbing it.
+func TestPlanZeroConfig(t *testing.T) {
+	p := NewPlan(Config{}, 7, 0, 16, 96)
+	if !p.Empty() {
+		t.Fatal("zero config produced a non-empty plan")
+	}
+	for n := 0; n < 16; n++ {
+		for tick := 0; tick < 96; tick++ {
+			if p.Down(n, tick) || p.Dropped(n, tick) || p.Duplicated(n, tick) || p.ResetAt(n, tick) != NoReset {
+				t.Fatalf("zero config scheduled a fault at node %d tick %d", n, tick)
+			}
+		}
+	}
+	if d := (Config{}).EpilogueDelay(7, 42); d != 0 {
+		t.Fatalf("zero config delayed an epilogue by %v", d)
+	}
+}
+
+// TestPlanDifferentDaysDiffer is a sanity check that the per-day
+// substreams actually decorrelate days (a stuck stream ID would pass
+// every purity test while making all days identical).
+func TestPlanDifferentDaysDiffer(t *testing.T) {
+	cfg := Default()
+	a := NewPlan(cfg, 7, 0, 144, 96)
+	b := NewPlan(cfg, 7, 1, 144, 96)
+	if reflect.DeepEqual(a.drop, b.drop) && reflect.DeepEqual(a.downFrom, b.downFrom) {
+		t.Fatal("day 0 and day 1 drew identical schedules; substreams look collapsed")
+	}
+}
+
+// TestPropertyPlanBounds: for arbitrary configurations, every scheduled
+// fault stays inside the day's geometry — outage windows inside
+// [0, ticks), reset ticks in range, Bernoulli arrays sized exactly.
+func TestPropertyPlanBounds(t *testing.T) {
+	rnd := rng.New(20260806)
+	for trial := 0; trial < 300; trial++ {
+		cfg := Config{
+			CrashProbPerNodeDay:   rnd.Range(-1, 2),
+			MeanOutageTicks:       rnd.Range(-5, 500),
+			DropProbPerSample:     rnd.Range(-1, 2),
+			DupProbPerSample:      rnd.Range(-1, 2),
+			RestartProbPerNodeDay: rnd.Range(-1, 2),
+		}
+		nodes, ticks := 1+rnd.Intn(64), 1+rnd.Intn(128)
+		p := NewPlan(cfg, rnd.Uint64(), rnd.Intn(1000), nodes, ticks)
+		checkPlanBounds(t, p, nodes, ticks)
+	}
+}
+
+// checkPlanBounds asserts the geometric invariants shared by the property
+// test above and the fuzz target.
+func checkPlanBounds(t *testing.T, p Plan, nodes, ticks int) {
+	t.Helper()
+	if p.Nodes != nodes || p.Ticks != ticks {
+		t.Fatalf("plan geometry %dx%d, want %dx%d", p.Nodes, p.Ticks, nodes, ticks)
+	}
+	if p.drop != nil && len(p.drop) != nodes*ticks {
+		t.Fatalf("drop array has %d entries, want %d", len(p.drop), nodes*ticks)
+	}
+	if p.dup != nil && len(p.dup) != nodes*ticks {
+		t.Fatalf("dup array has %d entries, want %d", len(p.dup), nodes*ticks)
+	}
+	for n := 0; n < nodes; n++ {
+		from, to := p.downFrom[n], p.downTo[n]
+		if from == -1 {
+			if to != -1 {
+				t.Fatalf("node %d: downTo %d without downFrom", n, to)
+			}
+		} else if from < 0 || from >= ticks || to <= from || to > ticks {
+			t.Fatalf("node %d: outage window [%d, %d) outside day of %d ticks", n, from, to, ticks)
+		}
+		rt, rk := p.resetTick[n], p.resetKind[n]
+		if (rt == -1) != (rk == NoReset) {
+			t.Fatalf("node %d: reset tick %d inconsistent with kind %v", n, rt, rk)
+		}
+		if rt != -1 && (rt < 0 || rt >= ticks) {
+			t.Fatalf("node %d: reset tick %d outside day of %d ticks", n, rt, ticks)
+		}
+		if rk == RebootReset && rt != from {
+			t.Fatalf("node %d: reboot reset at %d but outage starts at %d", n, rt, from)
+		}
+	}
+	// Out-of-geometry queries are inert, never a panic or a phantom fault.
+	for _, probe := range [][2]int{{-1, 0}, {nodes, 0}, {0, -1}, {0, ticks}, {nodes + 5, ticks + 5}} {
+		if p.Dropped(probe[0], probe[1]) || p.Duplicated(probe[0], probe[1]) || p.ResetAt(probe[0], probe[1]) != NoReset {
+			t.Fatalf("out-of-geometry probe %v reported a fault", probe)
+		}
+	}
+}
+
+// TestPropertyCoverageSums replays fault plans through the same fate
+// precedence the campaign uses (down > dropped > rebase > captured) and
+// checks the ledger invariant the reducer depends on: captured + dropped
+// + down always equals the samples the schedule owed, for any config.
+func TestPropertyCoverageSums(t *testing.T) {
+	rnd := rng.New(41)
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{
+			CrashProbPerNodeDay:   rnd.Range(0, 0.5),
+			MeanOutageTicks:       rnd.Range(1, 20),
+			DropProbPerSample:     rnd.Range(0, 0.3),
+			DupProbPerSample:      rnd.Range(0, 0.3),
+			RestartProbPerNodeDay: rnd.Range(0, 0.5),
+		}
+		nodes, ticks := 1+rnd.Intn(32), 1+rnd.Intn(64)
+		p := NewPlan(cfg, rnd.Uint64(), trial, nodes, ticks)
+
+		var cov Coverage
+		pendingRebase := make([]bool, nodes)
+		for tick := 0; tick < ticks; tick++ {
+			for n := 0; n < nodes; n++ {
+				cov.Expected++
+				if p.ResetAt(n, tick) != NoReset {
+					cov.Resets++
+					pendingRebase[n] = true
+				}
+				switch {
+				case p.Down(n, tick):
+					cov.Down++
+				case p.Dropped(n, tick):
+					cov.Dropped++
+				case pendingRebase[n]:
+					cov.Captured++
+					cov.Rebased++
+					pendingRebase[n] = false
+				default:
+					cov.Captured++
+					if p.Duplicated(n, tick) {
+						cov.Duplicates++
+					}
+				}
+			}
+		}
+		if cov.Expected != int64(nodes*ticks) {
+			t.Fatalf("trial %d: expected %d samples, schedule owed %d", trial, cov.Expected, nodes*ticks)
+		}
+		if err := cov.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestCoverageCheckRejectsImbalance pins the failure side of Check.
+func TestCoverageCheckRejectsImbalance(t *testing.T) {
+	bad := []Coverage{
+		{Expected: 10, Captured: 5, Dropped: 2, Down: 2}, // 9 != 10
+		{Expected: 4, Captured: 4, Rebased: 5},           // rebased > captured
+		{Expected: 0, Captured: 1, Dropped: -1},          // negative bucket
+		{Expected: 2, Captured: 2, LostNodeSeconds: -1},  // negative time
+	}
+	for i, c := range bad {
+		if err := c.Check(); err == nil {
+			t.Fatalf("case %d: invalid ledger %+v passed Check", i, c)
+		}
+	}
+}
+
+// TestReportCheckCrossFoots: the campaign report must equal the sum of
+// its days, and Render has to mention the worst day.
+func TestReportCheckCrossFoots(t *testing.T) {
+	day0 := DayCoverage{Day: 0, Coverage: Coverage{Expected: 100, Captured: 90, Dropped: 6, Down: 4, Rebased: 2, Resets: 1}, CoveredNodeSeconds: 80000}
+	day1 := DayCoverage{Day: 1, Coverage: Coverage{Expected: 100, Captured: 99, Dropped: 1, Duplicates: 3}, CoveredNodeSeconds: 86000}
+	r := &Report{Days: []DayCoverage{day0, day1}}
+	r.Total.Add(day0.Coverage)
+	r.Total.Add(day1.Coverage)
+	if err := r.Check(); err != nil {
+		t.Fatalf("consistent report failed Check: %v", err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "worst day           : day 0") {
+		t.Fatalf("Render did not flag day 0 as worst:\n%s", out)
+	}
+	r.Total.Dropped++ // un-balance the cross-foot
+	if err := r.Check(); err == nil {
+		t.Fatal("report with mismatched total passed Check")
+	}
+}
+
+// TestEpilogueDelayPure: the per-job delay draw is a pure function of
+// (config, seed, UID) and respects the probability knob at its extremes.
+func TestEpilogueDelayPure(t *testing.T) {
+	cfg := Default()
+	delayed := 0
+	for uid := uint64(0); uid < 2000; uid++ {
+		a := cfg.EpilogueDelay(7, uid)
+		b := cfg.EpilogueDelay(7, uid)
+		if a != b {
+			t.Fatalf("uid %d: EpilogueDelay not pure: %v then %v", uid, a, b)
+		}
+		if a < 0 {
+			t.Fatalf("uid %d: negative delay %v", uid, a)
+		}
+		if a > 0 {
+			delayed++
+		}
+	}
+	// ~5% of 2000 draws; a factor-of-three band catches a broken knob
+	// without flaking on the seeded stream.
+	if delayed < 30 || delayed > 300 {
+		t.Fatalf("delayed %d of 2000 jobs at prob %v; knob looks broken", delayed, cfg.EpilogueDelayProb)
+	}
+	always := Config{EpilogueDelayProb: 1, EpilogueDelayMeanSeconds: 10}
+	if always.EpilogueDelay(7, 1) <= 0 {
+		t.Fatal("prob 1 did not delay")
+	}
+	never := Config{EpilogueDelayProb: 0, EpilogueDelayMeanSeconds: 10}
+	if never.EpilogueDelay(7, 1) != 0 {
+		t.Fatal("prob 0 delayed")
+	}
+}
+
+// fixedSource is a test CounterSource with a constant reading.
+type fixedSource struct {
+	id   int
+	snap hpm.Counts64
+}
+
+func (f fixedSource) NodeID() int            { return f.id }
+func (f fixedSource) Counters() hpm.Counts64 { return f.snap }
+
+// TestUnreliableSourceDeterministic: two wrappers with identical keys
+// fail on identical reads, and the probability extremes behave.
+func TestUnreliableSourceDeterministic(t *testing.T) {
+	var snap hpm.Counts64
+	snap.Counts[hpm.User][hpm.EvCycles] = 12345
+	a := NewUnreliableSource(fixedSource{id: 3, snap: snap}, 7, 0.3)
+	b := NewUnreliableSource(fixedSource{id: 3, snap: snap}, 7, 0.3)
+	sawFailure := false
+	for i := 0; i < 500; i++ {
+		got, errA := a.TryCounters()
+		_, errB := b.TryCounters()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("read %d: schedules diverged (%v vs %v)", i, errA, errB)
+		}
+		if errA != nil {
+			sawFailure = true
+		} else if got != snap {
+			t.Fatalf("read %d: successful read returned wrong counters", i)
+		}
+	}
+	if !sawFailure {
+		t.Fatal("failure rate 0.3 never failed in 500 reads")
+	}
+	reads, fails := a.Stats()
+	if reads != 500 || fails <= 0 || fails >= 500 {
+		t.Fatalf("stats (%d reads, %d fails) implausible for rate 0.3", reads, fails)
+	}
+
+	solid := NewUnreliableSource(fixedSource{id: 1, snap: snap}, 7, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := solid.TryCounters(); err != nil {
+			t.Fatalf("rate 0 failed: %v", err)
+		}
+	}
+	dead := NewUnreliableSource(fixedSource{id: 2, snap: snap}, 7, 1)
+	if _, err := dead.TryCounters(); err == nil {
+		t.Fatal("rate 1 succeeded")
+	}
+	if dead.Counters() != snap { // bypass path never fails
+		t.Fatal("Counters bypass returned wrong counters")
+	}
+}

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanInvariants throws arbitrary configurations — including NaN-free
+// but wildly out-of-range rates, huge means, and degenerate geometries —
+// at the planner and asserts the three invariants every consumer relies
+// on: NewPlan never panics, building the same plan twice is bit-identical,
+// and every scheduled fault stays inside the day's geometry.
+func FuzzPlanInvariants(f *testing.F) {
+	f.Add(uint64(7), uint16(0), uint16(144), uint16(96), 0.004, 6.0, 0.01, 0.003, 0.01)
+	f.Add(uint64(7), uint16(3), uint16(1), uint16(1), 1.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(uint64(0), uint16(0), uint16(0), uint16(0), 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(12345), uint16(200), uint16(16), uint16(4), -3.5, 1e18, 2.0, -1.0, 0.5)
+	f.Fuzz(func(t *testing.T, seed uint64, day, nodes, ticks uint16, crash, outage, drop, dup, restart float64) {
+		// Cap the geometry so the fuzzer probes logic, not allocator limits.
+		nn, tt := int(nodes%300), int(ticks%300)
+		cfg := Config{
+			CrashProbPerNodeDay:   crash,
+			MeanOutageTicks:       outage,
+			DropProbPerSample:     drop,
+			DupProbPerSample:      dup,
+			RestartProbPerNodeDay: restart,
+		}
+		p := NewPlan(cfg, seed, int(day), nn, tt)
+		if again := NewPlan(cfg, seed, int(day), nn, tt); !reflect.DeepEqual(p, again) {
+			t.Fatal("identical arguments produced different plans")
+		}
+		if nn <= 0 || tt <= 0 {
+			if !p.Empty() {
+				t.Fatalf("degenerate geometry %dx%d produced a non-empty plan", nn, tt)
+			}
+			return
+		}
+		checkPlanBounds(t, p, nn, tt)
+	})
+}
+
+// FuzzEpilogueDelay asserts the per-job delay draw never panics and never
+// goes negative, whatever the configuration.
+func FuzzEpilogueDelay(f *testing.F) {
+	f.Add(uint64(7), uint64(42), 0.05, 300.0)
+	f.Add(uint64(0), uint64(0), 1.0, -5.0)
+	f.Add(uint64(1), uint64(1<<40), 2.0, 1e300)
+	f.Fuzz(func(t *testing.T, seed, uid uint64, prob, mean float64) {
+		cfg := Config{EpilogueDelayProb: prob, EpilogueDelayMeanSeconds: mean}
+		d := cfg.EpilogueDelay(seed, uid)
+		if d < 0 {
+			t.Fatalf("negative epilogue delay %v", d)
+		}
+		if d != cfg.EpilogueDelay(seed, uid) {
+			t.Fatal("EpilogueDelay not pure")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hpm"
+	"repro/internal/rng"
+)
+
+// sourceStreamBase is the substream namespace for per-node read-failure
+// schedules (5<<40; see the package doc for the full namespace map).
+const sourceStreamBase uint64 = 5 << 40
+
+// CounterSource is the subset of rs2hpm.Source the unreliable wrapper
+// needs. It is restated here structurally so the fault layer stays below
+// the collection stack in the import graph.
+type CounterSource interface {
+	NodeID() int
+	Counters() hpm.Counts64
+}
+
+// UnreliableSource wraps a counter source with a seeded, deterministic
+// read-failure schedule: each TryCounters call consults the node's own
+// failure substream, so a given (seed, node, failure rate) produces the
+// same error pattern on every run — including across the retries the
+// collector layers on top. The always-succeeding Counters method is kept
+// so the wrapper still satisfies rs2hpm.Source for callers that predate
+// fallible reads.
+type UnreliableSource struct {
+	src      CounterSource
+	failProb float64
+
+	mu    sync.Mutex
+	rnd   *rng.Source // guarded by mu
+	reads int64       // guarded by mu
+	fails int64       // guarded by mu
+}
+
+// NewUnreliableSource wraps src with the given per-read failure
+// probability (clamped to [0, 1]). The failure schedule is keyed by
+// (seed, node ID) so a cluster of wrapped sources fails independently.
+func NewUnreliableSource(src CounterSource, seed uint64, failProb float64) *UnreliableSource {
+	return &UnreliableSource{
+		src:      src,
+		failProb: clampProb(failProb),
+		rnd:      rng.Stream(seed, sourceStreamBase+uint64(uint32(src.NodeID()))),
+	}
+}
+
+// NodeID returns the wrapped node's ID.
+func (u *UnreliableSource) NodeID() int { return u.src.NodeID() }
+
+// Counters reads the wrapped source directly, bypassing the failure
+// schedule; it exists for rs2hpm.Source compatibility.
+func (u *UnreliableSource) Counters() hpm.Counts64 { return u.src.Counters() }
+
+// TryCounters reads the wrapped source, or fails according to the
+// schedule. Every call — including a retry of a failed read — draws the
+// next scheduled outcome.
+func (u *UnreliableSource) TryCounters() (hpm.Counts64, error) {
+	u.mu.Lock()
+	u.reads++
+	fail := u.rnd.Bool(u.failProb)
+	if fail {
+		u.fails++
+	}
+	u.mu.Unlock()
+	if fail {
+		return hpm.Counts64{}, fmt.Errorf("faults: node %d: transient counter read failure", u.src.NodeID())
+	}
+	return u.src.Counters(), nil
+}
+
+// Stats reports the reads attempted and the failures injected so far.
+func (u *UnreliableSource) Stats() (reads, failures int64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.reads, u.fails
+}

@@ -157,13 +157,13 @@ func (d *Delta) Add(o Delta) {
 
 // Sub computes after - before with single-wrap correction on each 32-bit
 // register: provided fewer than 2^32 events occurred in the interval (the
-// reason RS2HPM sampled every 15 minutes), the unsigned subtraction is
-// exact.
+// reason RS2HPM sampled every 15 minutes), the correction is exact. See
+// Wrap32Delta for the arithmetic and its double-wrap caveat.
 func Sub(before, after Snapshot) Delta {
 	var d Delta
 	for m := Mode(0); m < numModes; m++ {
 		for e := Event(0); e < NumEvents; e++ {
-			d.Counts[m][e] = uint64(after.Counts[m][e] - before.Counts[m][e])
+			d.Counts[m][e], _ = Wrap32Delta(before.Counts[m][e], after.Counts[m][e])
 		}
 	}
 	return d

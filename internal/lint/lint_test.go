@@ -80,6 +80,10 @@ func TestAnalyzerGolden(t *testing.T) {
 		// cache: a mutex-guarded map plus hit/miss counters, with the
 		// lock-free "fast path" bugs the guarded analyzer must catch.
 		{"profilestore", []*Analyzer{GuardedStateAnalyzer()}},
+		// The faults fixture mirrors the fault-injection plan builder: a
+		// package whose whole contract is seeded reproducibility, reaching
+		// for the clocks and streams it must never touch.
+		{"faults", []*Analyzer{NondeterminismAnalyzer()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -24,6 +24,9 @@ var simulatorPackages = map[string]bool{
 	"tlb":      true,
 	"cache":    true,
 	"profile":  true,
+	// faults schedules every injected failure from seeded substreams; a
+	// wall-clock or math/rand draw there would make outages unreproducible.
+	"faults": true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

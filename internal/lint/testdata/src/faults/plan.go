@@ -1,0 +1,45 @@
+// Package faults is a violation fixture for the nondeterminism analyzer,
+// named after the fault-injection package: a fault plan drawn from the
+// wall clock or the global math/rand stream would schedule different
+// outages on every run, and a faulted campaign could never be replayed.
+package faults
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+// Plan is a toy day plan.
+type Plan struct {
+	Day      int
+	DownFrom int
+}
+
+// BuildPlan draws the outage start from the global stream and stamps the
+// plan with the wall clock — both irreproducible.
+func BuildPlan(day, ticks int) Plan {
+	start := rand.Intn(ticks)
+	_ = time.Now() // want `calls time\.Now`
+	return Plan{Day: day, DownFrom: start}
+}
+
+// OutageOver polls the wall clock to decide when a simulated outage ends.
+func OutageOver(deadline time.Time) bool {
+	return time.Since(deadline) > 0 // want `calls time\.Since`
+}
+
+// Backoff sleeps real time inside the simulator.
+func Backoff() {
+	time.Sleep(time.Second) // want `calls time\.Sleep`
+}
+
+// Window is fine: time.Duration is a type, not a clock reading.
+func Window(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// ApprovedJitter shows a suppression carrying its mandatory reason.
+func ApprovedJitter() time.Time {
+	//hpmlint:ignore nondeterminism fixture demonstrating an approved wall-clock read
+	return time.Now()
+}

@@ -159,11 +159,22 @@ func (n *Node) WithAccumulator(fn func(a *hpm.Accumulator)) {
 }
 
 // ResetMonitor zeroes both the hardware counters and the extended totals
-// (used between campaign segments).
+// (used between campaign segments, and by the fault layer for a node
+// crash: a reboot loses registers and daemon state alike).
 func (n *Node) ResetMonitor() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.cpu.Monitor().Reset()
+	n.acc.Reset()
+}
+
+// ResetExtendedTotals zeroes the extended software totals and re-baselines
+// against the live hardware registers, which keep counting — an RS2HPM
+// daemon restart, where the kernel extension survives but the daemon's
+// accumulated totals are gone.
+func (n *Node) ResetExtendedTotals() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.acc.Reset()
 }
 

@@ -464,6 +464,19 @@ func (s *Server) RunningCount() int { return len(s.running) }
 // FreeNodes reports unallocated nodes.
 func (s *Server) FreeNodes() int { return len(s.free) }
 
+// NodeFree reports whether the node at cluster index idx is currently
+// unallocated. The fault layer consults it before applying a counter
+// reset: resetting under a running job would corrupt its epilogue
+// baseline.
+func (s *Server) NodeFree(idx int) bool {
+	for _, f := range s.free {
+		if f == idx {
+			return true
+		}
+	}
+	return false
+}
+
 // BusyNodes reports allocated nodes.
 func (s *Server) BusyNodes() int { return len(s.nodes) - len(s.free) }
 

@@ -1,0 +1,146 @@
+package rs2hpm
+
+// Failure-path tests for the collection stack: the daemon's ERR response
+// for fallible sources, the collector's retry budget and gap-marking, and
+// the reset-aware delta segmentation the reducer relies on when a log
+// spans a daemon restart.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/hpm"
+)
+
+// TestDaemonReportsFailedRead: a source whose every read fails turns into
+// an ERR response on the wire, not a hang or a bogus snapshot.
+func TestDaemonReportsFailedRead(t *testing.T) {
+	dead := faults.NewUnreliableSource(newFakeSource(4), 1, 1)
+	_, addr := startDaemon(t, dead)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Counters(4); err == nil {
+		t.Fatal("failing source read succeeded over the wire")
+	} else if !strings.Contains(err.Error(), "read node 4") {
+		t.Fatalf("wrong error for failed read: %v", err)
+	}
+	// The connection survives the ERR: the next command still works.
+	if ids, err := c.Nodes(); err != nil || len(ids) != 1 {
+		t.Fatalf("connection unusable after ERR: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestCollectorRetriesPastTransientFailures: with a retry budget large
+// enough, a flaky source's sweep completes with samples and no gaps, and
+// the backoff hook fires once per retry.
+func TestCollectorRetriesPastTransientFailures(t *testing.T) {
+	flaky := faults.NewUnreliableSource(newFakeSource(7), 99, 0.5)
+	_, addr := startDaemon(t, flaky)
+	log := NewSampleLog()
+	backoffs := 0
+	col := NewCollectorConfig(addr, log, CollectorConfig{
+		Retries: 50, // vanishingly unlikely to exhaust at rate 0.5
+		Backoff: func(attempt int) {
+			if attempt < 1 {
+				t.Fatalf("backoff attempt %d out of range", attempt)
+			}
+			backoffs++
+		},
+	})
+	for sweep := 0; sweep < 20; sweep++ {
+		if err := col.CollectOnce(float64(sweep) * 900); err != nil {
+			t.Fatalf("sweep %d failed despite retry budget: %v", sweep, err)
+		}
+	}
+	if got := log.Len(7); got != 20 {
+		t.Fatalf("collected %d samples, want 20", got)
+	}
+	if log.GapCount() != 0 {
+		t.Fatalf("retried sweeps still gap-marked %d reads", log.GapCount())
+	}
+	_, fails := flaky.Stats()
+	if fails == 0 {
+		t.Fatal("flaky source never failed; the test exercised nothing")
+	}
+	if backoffs != int(fails) {
+		t.Fatalf("backoff ran %d times for %d failures", backoffs, fails)
+	}
+}
+
+// TestCollectorGapMarksAbandonedReads: past the retry budget the sweep
+// gap-marks the node, keeps collecting the others, and reports the miss.
+func TestCollectorGapMarksAbandonedReads(t *testing.T) {
+	dead := faults.NewUnreliableSource(newFakeSource(2), 1, 1)
+	healthy := newFakeSource(9)
+	_, addr := startDaemon(t, dead, healthy)
+	log := NewSampleLog()
+	col := NewCollectorConfig(addr, log, CollectorConfig{Retries: 3})
+	err := col.CollectOnce(900)
+	if err == nil {
+		t.Fatal("sweep with a dead node reported success")
+	}
+	if !strings.Contains(err.Error(), "gap-marked 1 node") {
+		t.Fatalf("sweep error does not describe the gap: %v", err)
+	}
+	if log.Len(9) != 1 {
+		t.Fatal("healthy node was not collected after the dead one failed")
+	}
+	gaps := log.Gaps(2)
+	if len(gaps) != 1 || gaps[0].AtSeconds != 900 || gaps[0].Node != 2 {
+		t.Fatalf("gap marker wrong: %+v", gaps)
+	}
+	reads, _ := dead.Stats()
+	if reads != 4 { // 1 attempt + 3 retries
+		t.Fatalf("dead node read %d times, want 4", reads)
+	}
+}
+
+// TestDeltaOverSegmentsAtResets: a log spanning a counter reset excludes
+// the reset-crossing interval from delta and covered time instead of
+// panicking or inventing counts, and a clean log is unchanged from the
+// endpoint difference.
+func TestDeltaOverSegmentsAtResets(t *testing.T) {
+	log := NewSampleLog()
+	at := func(sec float64, cycles uint64) {
+		var s hpm.Counts64
+		s.Counts[hpm.User][hpm.EvCycles] = cycles
+		if err := log.Add(Sample{AtSeconds: sec, Node: 1, Snap: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at(0, 1000)
+	at(900, 2000)  // +1000 over 900 s
+	at(1800, 3000) // +1000 over 900 s
+	at(2700, 50)   // daemon restarted: totals re-based below the previous read
+	at(3600, 1050) // +1000 over 900 s
+
+	d, covered, resets, ok := log.DeltaOverReport(1, 0, 3600)
+	if !ok {
+		t.Fatal("segmented window reported no usable interval")
+	}
+	if got := d.Get(hpm.User, hpm.EvCycles); got != 3000 {
+		t.Fatalf("reset-aware delta %d cycles, want 3000", got)
+	}
+	if covered != 2700 {
+		t.Fatalf("covered %v seconds, want 2700", covered)
+	}
+	if resets != 1 {
+		t.Fatalf("detected %d resets, want 1", resets)
+	}
+
+	// Clean sub-window: identical to the endpoint difference.
+	d2, sec2, ok2 := log.DeltaOver(1, 0, 1800)
+	if !ok2 || sec2 != 1800 || d2.Get(hpm.User, hpm.EvCycles) != 2000 {
+		t.Fatalf("clean window delta=%d sec=%v ok=%v, want 2000/1800/true",
+			d2.Get(hpm.User, hpm.EvCycles), sec2, ok2)
+	}
+
+	// A window holding only the reset-crossing interval has no usable data.
+	if _, _, ok := log.DeltaOver(1, 1800, 2700); ok {
+		t.Fatal("reset-only window claimed a usable delta")
+	}
+}

@@ -43,6 +43,15 @@ type Armer interface {
 	ArmSelection(name string) error
 }
 
+// TrySource is the optional extension a Source may implement when its
+// reads can fail (a flaky kernel extension, an injected fault schedule —
+// see faults.UnreliableSource). The daemon prefers TryCounters when
+// available and turns a failure into an ERR response, which the collector
+// retries and, past its retry budget, gap-marks.
+type TrySource interface {
+	TryCounters() (hpm.Counts64, error)
+}
+
 // Daemon serves counter snapshots for a set of nodes over TCP. One daemon
 // can front many simulated nodes (the real deployment ran one per host;
 // serving many keeps tests cheap without changing the protocol).
@@ -166,7 +175,16 @@ func (d *Daemon) writeCounters(w *bufio.Writer, id int) {
 		fmt.Fprintf(w, "ERR no such node %d\n", id)
 		return
 	}
-	totals := src.Counters()
+	var totals hpm.Counts64
+	if ts, ok := src.(TrySource); ok {
+		var err error
+		if totals, err = ts.TryCounters(); err != nil {
+			fmt.Fprintf(w, "ERR read node %d: %v\n", id, err)
+			return
+		}
+	} else {
+		totals = src.Counters()
+	}
 	fmt.Fprintf(w, "OK %d\n", id)
 	for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
 		info := hpm.Info(ev)
@@ -343,16 +361,53 @@ type Sample struct {
 	Snap      hpm.Counts64
 }
 
+// Gap marks a scheduled sample that was never captured: the collector
+// records one when a node read fails past its retry budget, so the
+// record is explicit about what is missing instead of silently shorter.
+type Gap struct {
+	AtSeconds float64
+	Node      int
+	Reason    string
+}
+
 // SampleLog accumulates samples and answers wrap-corrected delta queries.
 // It is the in-memory form of the files the 15-minute cron job wrote.
 type SampleLog struct {
 	mu      sync.Mutex
 	samples map[int][]Sample // guarded by mu; per node, in time order
+	gaps    map[int][]Gap    // guarded by mu; per node, in time order
 }
 
 // NewSampleLog returns an empty log.
 func NewSampleLog() *SampleLog {
-	return &SampleLog{samples: make(map[int][]Sample)}
+	return &SampleLog{samples: make(map[int][]Sample), gaps: make(map[int][]Gap)}
+}
+
+// AddGap records a missing sample for a node.
+func (l *SampleLog) AddGap(g Gap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gaps[g.Node] = append(l.gaps[g.Node], g)
+}
+
+// Gaps returns a copy of the gap markers for one node.
+func (l *SampleLog) Gaps(node int) []Gap {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Gap, len(l.gaps[node]))
+	copy(out, l.gaps[node])
+	return out
+}
+
+// GapCount reports the total gap markers across all nodes.
+func (l *SampleLog) GapCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, gs := range l.gaps {
+		n += len(gs)
+	}
+	return n
 }
 
 // Add appends a sample; samples for one node must arrive in time order.
@@ -396,44 +451,87 @@ func (l *SampleLog) Samples(node int) []Sample {
 	return out
 }
 
-// DeltaOver returns the wrap-corrected counter delta and the wall-time
-// span between the first sample at or after t0 and the last sample at or
-// before t1 for one node. ok is false when fewer than two samples fall in
-// the window.
+// DeltaOver returns the wrap-corrected counter delta and the covered
+// observation time between samples in [t0, t1] for one node. ok is false
+// when no interval in the window is usable. On a clean log this equals
+// the old endpoint difference; on a log with counter resets it is the
+// reset-aware sum DeltaOverReport computes.
 func (l *SampleLog) DeltaOver(node int, t0, t1 float64) (d hpm.Delta, seconds float64, ok bool) {
+	d, seconds, _, ok = l.DeltaOverReport(node, t0, t1)
+	return d, seconds, ok
+}
+
+// DeltaOverReport walks the samples in [t0, t1] pairwise and sums the
+// deltas of the usable intervals. An interval whose counters ran
+// backwards spans a counter reset (daemon restart, node reboot): its
+// counts are unknowable, so it is excluded from both the delta and the
+// covered seconds and reported in resets instead — the sampling record
+// re-baselines rather than inventing counts. ok is false when no usable
+// interval exists. Extended counters never wrap in a campaign; 32-bit
+// wrap handling lives in hpm.Accumulator on the daemon side.
+func (l *SampleLog) DeltaOverReport(node int, t0, t1 float64) (d hpm.Delta, covered float64, resets int, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	ss := l.samples[node]
-	var first, last *Sample
-	for i := range ss {
-		if ss[i].AtSeconds >= t0 && ss[i].AtSeconds <= t1 {
-			if first == nil {
-				first = &ss[i]
-			}
-			last = &ss[i]
+	var prev *Sample
+	for i := range l.samples[node] {
+		s := &l.samples[node][i]
+		if s.AtSeconds < t0 || s.AtSeconds > t1 {
+			continue
 		}
+		if prev != nil {
+			if hpm.RanBackwards(prev.Snap, s.Snap) {
+				resets++
+			} else {
+				d.Add(hpm.Sub64(prev.Snap, s.Snap))
+				covered += s.AtSeconds - prev.AtSeconds
+				ok = true
+			}
+		}
+		prev = s
 	}
-	if first == nil || last == nil || first == last {
-		return hpm.Delta{}, 0, false
+	if !ok {
+		return hpm.Delta{}, 0, resets, false
 	}
-	// Extended counters never wrap in a campaign; 32-bit wrap handling
-	// lives in hpm.Accumulator on the daemon side.
-	return hpm.Sub64(first.Snap, last.Snap), last.AtSeconds - first.AtSeconds, true
+	return d, covered, resets, true
+}
+
+// CollectorConfig tunes the collector's handling of failed node reads.
+// The zero value retries nothing and gap-marks on the first failure.
+type CollectorConfig struct {
+	// Retries is how many extra attempts a failed node read gets within
+	// one sweep before the sample is abandoned and gap-marked.
+	Retries int
+	// Backoff, when non-nil, runs before retry attempt k (1-based) — the
+	// hook for a sleep, a simulated-clock wait, or test instrumentation.
+	Backoff func(attempt int)
 }
 
 // Collector samples a daemon's nodes into a log.
 type Collector struct {
 	addr string
 	log  *SampleLog
+	cfg  CollectorConfig
 }
 
-// NewCollector builds a collector for the daemon at addr.
+// NewCollector builds a collector for the daemon at addr with no retry
+// budget (every read failure becomes a gap).
 func NewCollector(addr string, log *SampleLog) *Collector {
-	return &Collector{addr: addr, log: log}
+	return NewCollectorConfig(addr, log, CollectorConfig{})
+}
+
+// NewCollectorConfig builds a collector with explicit failure handling.
+func NewCollectorConfig(addr string, log *SampleLog, cfg CollectorConfig) *Collector {
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	return &Collector{addr: addr, log: log, cfg: cfg}
 }
 
 // CollectOnce dials the daemon, samples every node it serves, and appends
 // the samples stamped with atSeconds. It is the body of the cron script.
+// A node whose read keeps failing past the retry budget does not abort
+// the sweep: the miss is gap-marked in the log, the remaining nodes are
+// still sampled, and the returned error summarises the abandoned reads.
 func (c *Collector) CollectOnce(atSeconds float64) error {
 	cl, err := Dial(c.addr)
 	if err != nil {
@@ -444,16 +542,40 @@ func (c *Collector) CollectOnce(atSeconds float64) error {
 	if err != nil {
 		return err
 	}
+	var abandoned []int
 	for _, id := range ids {
-		snap, err := cl.Counters(id)
+		snap, err := c.readWithRetry(cl, id)
 		if err != nil {
-			return fmt.Errorf("rs2hpm: collect node %d: %w", id, err)
+			c.log.AddGap(Gap{AtSeconds: atSeconds, Node: id, Reason: err.Error()})
+			abandoned = append(abandoned, id)
+			continue
 		}
 		if err := c.log.Add(Sample{AtSeconds: atSeconds, Node: id, Snap: snap}); err != nil {
 			return err
 		}
 	}
+	if len(abandoned) > 0 {
+		return fmt.Errorf("rs2hpm: sweep at %vs gap-marked %d node read(s) %v after %d attempt(s) each",
+			atSeconds, len(abandoned), abandoned, c.cfg.Retries+1)
+	}
 	return nil
+}
+
+// readWithRetry reads one node's counters, retrying with backoff up to
+// the configured budget.
+func (c *Collector) readWithRetry(cl *Client, id int) (hpm.Counts64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 && c.cfg.Backoff != nil {
+			c.cfg.Backoff(attempt)
+		}
+		snap, err := cl.Counters(id)
+		if err == nil {
+			return snap, nil
+		}
+		lastErr = err
+	}
+	return hpm.Counts64{}, fmt.Errorf("rs2hpm: collect node %d: %w", id, lastErr)
 }
 
 // Schedule wires the collector to a simulation clock at the given period

@@ -1,0 +1,45 @@
+package trace
+
+// Fuzz target for the profile-cache codec. The decoder fronts files users
+// hand to -profile-cache, so arbitrary bytes must produce an error, never
+// a panic, and anything it accepts must survive an encode/decode cycle
+// unchanged (the memoized store would otherwise drift between runs).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzProfileCacheDecode(f *testing.F) {
+	// Hand seeds covering the envelope's edges; the committed corpus under
+	// testdata/fuzz adds a dump written by the real encoder.
+	f.Add([]byte(`{"version":1,"measurements":[]}`))
+	f.Add([]byte(`{"version":1,"measurements":null}`))
+	f.Add([]byte(`{"version":2,"measurements":[]}`))
+	f.Add([]byte(`{"version":1,"measurements":[{"Kernel":"cfd","Instrs":1000,"Seconds":0.5}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":1,"measurements":[{"Kernel":"nul","Instrs":18446744073709551615}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := ReadProfileCache(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; the only requirement is not panicking
+		}
+		// Accepted input must round-trip bit-identically through the
+		// writer: encode what we decoded, decode it again, compare.
+		var buf bytes.Buffer
+		if err := WriteProfileCache(&buf, ms); err != nil {
+			t.Fatalf("re-encoding accepted measurements failed: %v", err)
+		}
+		again, err := ReadProfileCache(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoder's output failed: %v", err)
+		}
+		if !reflect.DeepEqual(ms, again) {
+			t.Fatalf("round trip changed the measurements:\n first: %+v\nsecond: %+v", ms, again)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package workload
+
+// Coverage-aware reductions. A clean campaign observes every node for
+// every second of every day, so dividing a day's counter delta by
+// nodes * 86400 gives per-node rates. A faulted campaign's record is
+// gappy: samples lost to crashes, cron misses and counter resets mean the
+// day's delta covers fewer node-seconds than the wall clock. These
+// helpers divide by what the collection actually observed, which is how
+// the paper's reductions stayed meaningful over a nine-month record that
+// was never complete.
+
+import (
+	"repro/internal/faults"
+	"repro/internal/hpm"
+)
+
+// dayCoverage returns the fault layer's ledger row for day index i, nil
+// when the campaign ran without fault injection.
+func (r *Result) dayCoverage(i int) *faults.DayCoverage {
+	if r.Coverage == nil || i < 0 || i >= len(r.Coverage.Days) {
+		return nil
+	}
+	return &r.Coverage.Days[i]
+}
+
+// DayPerNodeRates reports day i's per-node user rates over the observed
+// record: identical to Day.PerNodeRates on a clean campaign, divided by
+// the day's covered node-seconds when the fault layer left gaps. A day
+// with no covered time at all reports zero rates.
+func (r *Result) DayPerNodeRates(i int) hpm.Rates {
+	if cov := r.dayCoverage(i); cov != nil {
+		if cov.CoveredNodeSeconds <= 0 {
+			return hpm.Rates{}
+		}
+		return hpm.UserRates(r.Days[i].Delta, cov.CoveredNodeSeconds)
+	}
+	return r.Days[i].PerNodeRates(r.Config.Nodes)
+}
+
+// DayCoveredNodeSeconds reports how many node-seconds of observation back
+// day i's delta: the full wall clock on a clean campaign, the fault
+// ledger's covered time otherwise. A capture that bridges a gap across
+// midnight credits the whole observed interval — counts and seconds alike
+// — to the day it lands in, so one day's covered time can exceed its own
+// wall clock while the campaign total never does.
+func (r *Result) DayCoveredNodeSeconds(i int) float64 {
+	if cov := r.dayCoverage(i); cov != nil {
+		return cov.CoveredNodeSeconds
+	}
+	return 86400 * float64(r.Config.Nodes)
+}
+
+// DayGflops reports day i's system floating-point rate in Gflops over the
+// observed record: the covered-time per-node rate scaled back to the full
+// cluster, so a day that was half-observed is not reported at half speed.
+func (r *Result) DayGflops(i int) float64 {
+	if cov := r.dayCoverage(i); cov != nil {
+		if cov.CoveredNodeSeconds <= 0 {
+			return 0
+		}
+		perNode := hpm.UserRates(r.Days[i].Delta, cov.CoveredNodeSeconds)
+		return perNode.MflopsAll * float64(r.Config.Nodes) / 1000
+	}
+	return r.Days[i].Gflops()
+}

@@ -12,6 +12,7 @@ package workload
 import (
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/hpm"
 	"repro/internal/node"
 	"repro/internal/pbs"
@@ -54,8 +55,10 @@ type Engine interface {
 	AdvanceRuns(runs []*jobRun, t simclock.Time)
 	// SampleNodes reads each node's extended counters, differences them
 	// against prev (updated in place), and returns the cluster-wide delta
-	// folded in node order.
-	SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta
+	// folded in node order. fates, when non-nil, carries each node's
+	// sampling fate for the tick (fault injection); a nil fates samples
+	// every node, exactly the pre-fault behaviour.
+	SampleNodes(nodes []*node.Node, prev []hpm.Counts64, fates []faults.Fate) hpm.Delta
 	// Close releases engine resources (worker goroutines).
 	Close()
 }
@@ -78,17 +81,49 @@ func (serialEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
 	}
 }
 
-func (serialEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta {
+func (serialEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64, fates []faults.Fate) hpm.Delta {
 	var total hpm.Delta
 	for i, nd := range nodes {
-		cur := nd.Counters()
-		total.Add(hpm.Sub64(prev[i], cur))
-		prev[i] = cur
+		total.Add(sampleNode(nd, prev, fates, i))
 	}
 	return total
 }
 
 func (serialEngine) Close() {}
+
+// sampleNode executes one node's sampling fate. A captured read
+// differences against the previous capture; a down or dropped sample
+// leaves prev untouched so the counts carry to the next successful read;
+// a rebase re-baselines after a counter reset without producing a delta
+// (the daemon cannot know how much of the post-reset count is new); a
+// duplicated read reads the node twice — the overlapping cron case — and
+// by construction the second read contributes nothing, the invariant the
+// duplicate-injection tests pin.
+func sampleNode(nd *node.Node, prev []hpm.Counts64, fates []faults.Fate, i int) hpm.Delta {
+	f := faults.FateCaptured
+	if fates != nil {
+		f = fates[i]
+	}
+	switch f {
+	case faults.FateDown, faults.FateDropped:
+		return hpm.Delta{}
+	case faults.FateRebase:
+		prev[i] = nd.Counters()
+		return hpm.Delta{}
+	case faults.FateDuplicated:
+		cur := nd.Counters()
+		d := hpm.Sub64(prev[i], cur)
+		again := nd.Counters() // the second, overlapping read
+		d.Add(hpm.Sub64(cur, again))
+		prev[i] = again
+		return d
+	default:
+		cur := nd.Counters()
+		d := hpm.Sub64(prev[i], cur)
+		prev[i] = cur
+		return d
+	}
+}
 
 // poolEngine shards advancement across a fixed pool of worker goroutines.
 // Work is striped: shard s of k handles indices s, s+k, s+2k, ... — a
@@ -164,7 +199,7 @@ func (e *poolEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
 	})
 }
 
-func (e *poolEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.Delta {
+func (e *poolEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64, fates []faults.Fate) hpm.Delta {
 	if cap(e.scratch) < len(nodes) {
 		e.scratch = make([]hpm.Delta, len(nodes))
 	}
@@ -172,9 +207,7 @@ func (e *poolEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64) hpm.De
 	e.runSharded(len(nodes), func(shard, shards int) {
 		var n uint64
 		for i := shard; i < len(nodes); i += shards {
-			cur := nodes[i].Counters()
-			deltas[i] = hpm.Sub64(prev[i], cur)
-			prev[i] = cur
+			deltas[i] = sampleNode(nodes[i], prev, fates, i)
 			n++
 		}
 		e.mu.Lock()

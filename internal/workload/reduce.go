@@ -7,7 +7,10 @@ package workload
 // nine-month Result; ResultReducer is the fold that reconstructs the
 // classic struct.
 
-import "repro/internal/pbs"
+import (
+	"repro/internal/faults"
+	"repro/internal/pbs"
+)
 
 // Final carries the campaign's end-of-run aggregates: everything that is
 // only known once the window closes.
@@ -19,6 +22,9 @@ type Final struct {
 	MaxGflops15min float64
 	// DroppedRecords counts jobs under the record filter.
 	DroppedRecords int
+	// Coverage is the fault layer's sample-accounting report; nil when the
+	// campaign ran without fault injection.
+	Coverage *faults.Report
 }
 
 // Reducer consumes a campaign's reduction stream. ReduceDay is called
@@ -45,6 +51,7 @@ func (r *ResultReducer) Finish(f Final) {
 	r.res.Records = f.Records
 	r.res.MaxGflops15min = f.MaxGflops15min
 	r.res.DroppedRecords = f.DroppedRecords
+	r.res.Coverage = f.Coverage
 }
 
 // Result returns the folded result.

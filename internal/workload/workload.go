@@ -32,6 +32,7 @@ package workload
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/hpm"
 	"repro/internal/node"
 	"repro/internal/pbs"
@@ -189,6 +190,12 @@ type Config struct {
 	PagingDayProb float64
 	// MinRecordWall filters batch records (600 s in the paper).
 	MinRecordWall float64
+	// Faults, when non-nil, threads the chaos layer through the collection
+	// path: node crash/reboot windows, dropped and duplicated cron
+	// samples, daemon restarts, delayed PBS epilogues (see
+	// internal/faults). A nil Faults — or a non-nil all-zero one — leaves
+	// the reduction bit-identical to a campaign without the fault layer.
+	Faults *faults.Config `json:",omitempty"`
 }
 
 // DefaultConfig returns the paper's campaign parameters (serial engine;
@@ -246,6 +253,9 @@ type Result struct {
 	MaxGflops15min float64
 	// DroppedRecords counts jobs under the record filter.
 	DroppedRecords int
+	// Coverage is the fault layer's sample-accounting report; nil when the
+	// campaign ran without fault injection.
+	Coverage *faults.Report `json:",omitempty"`
 }
 
 // Campaign drives the cluster through the measurement window. It wires the
@@ -271,6 +281,21 @@ type Campaign struct {
 	maxG15     float64
 	lastTick   simclock.Time
 	ran        bool
+
+	// Fault-injection state, all touched only on the simulation goroutine;
+	// nil/zero when cfg.Faults is nil. The plan is rebuilt at each day
+	// boundary from the day's own substream, fates is the per-tick scratch
+	// the engine executes, pendingRebase marks nodes whose next captured
+	// sample must re-baseline after a counter reset, and lastCaptured
+	// tracks each node's last successful sample time for the covered/lost
+	// node-second accounting.
+	plan          faults.Plan
+	fates         []faults.Fate
+	pendingRebase []bool
+	lastCaptured  []float64
+	report        faults.Report
+	dayCov        faults.DayCoverage
+	ticksPerDay   int
 }
 
 // NewCampaign assembles a campaign. The mix usually comes from
@@ -346,13 +371,30 @@ func (c *Campaign) classByName(name string) Class {
 }
 
 // onEnd flushes the job's remaining counter extrapolation before the PBS
-// epilogue reads the final totals.
+// epilogue reads the final totals. Under fault injection the epilogue's
+// capture can race job teardown: a delayed epilogue truncates the tail of
+// the extrapolation, so the lost counts vanish from the record and the
+// day totals alike — exactly what the real race destroyed.
 func (c *Campaign) onEnd(j *pbs.Job) {
 	run, ok := c.running[j.ID]
 	if !ok {
 		return
 	}
-	run.advanceTo(c.clock.Now())
+	end := c.clock.Now()
+	if c.cfg.Faults != nil {
+		if delay := c.cfg.Faults.EpilogueDelay(c.cfg.Seed, j.Spec.StreamID); delay > 0 {
+			trunc := end - simclock.Time(delay)
+			if trunc < run.applied {
+				trunc = run.applied // never un-advance already-flushed counts
+			}
+			if lost := (end - trunc).Seconds(); lost > 0 {
+				c.dayCov.DelayedEpilogues++
+				c.dayCov.LostNodeSeconds += lost * float64(len(j.Nodes()))
+			}
+			end = trunc
+		}
+	}
+	run.advanceTo(end)
 	delete(c.running, j.ID)
 	c.runs = nil
 }
@@ -378,19 +420,112 @@ func (c *Campaign) sortedRuns() []*jobRun {
 
 // tick is the 15-minute sampler: advance all running jobs, then fold every
 // node's new counts into the current day and track the peak 15-minute rate.
-func (c *Campaign) tick(at simclock.Time) {
+// tickNo is the zero-based campaign tick index; under fault injection it
+// locates the tick in the day's fault plan.
+func (c *Campaign) tick(at simclock.Time, tickNo int) {
+	var fates []faults.Fate
+	if c.cfg.Faults != nil {
+		fates = c.prepareFaultTick(at, tickNo)
+	}
 	c.eng.AdvanceRuns(c.sortedRuns(), at)
-	tickDelta := c.eng.SampleNodes(c.nodes, c.prev)
+	tickDelta := c.eng.SampleNodes(c.nodes, c.prev, fates)
 	c.curDay.Delta.Add(tickDelta)
 
+	clean := true
+	if fates != nil {
+		clean = c.tallyFaultTick(at, fates)
+	}
 	span := (at - c.lastTick).Seconds()
-	if span > 0 {
+	// Only a gap-free tick is a valid 15-minute rate observation: a delta
+	// that carries counts across a sampling gap covers more wall time than
+	// the span and would fake a peak.
+	if clean && span > 0 {
 		g := hpm.UserRates(tickDelta, span).MflopsAll / 1000
 		if g > c.maxG15 {
 			c.maxG15 = g
 		}
 	}
 	c.lastTick = at
+}
+
+// prepareFaultTick builds the day's plan at the day boundary, applies the
+// counter resets scheduled for this tick, and decides every node's
+// sampling fate. Resets only land on idle nodes: a busy node's crash is
+// modelled as a sampling outage only, because zeroing counters under a
+// running job would corrupt its PBS baseline (see DESIGN.md).
+func (c *Campaign) prepareFaultTick(at simclock.Time, tickNo int) []faults.Fate {
+	day, dayTick := tickNo/c.ticksPerDay, tickNo%c.ticksPerDay
+	if dayTick == 0 {
+		c.plan = faults.NewPlan(*c.cfg.Faults, c.cfg.Seed, day, c.cfg.Nodes, c.ticksPerDay)
+	}
+	for n := range c.nodes {
+		k := c.plan.ResetAt(n, dayTick)
+		if k == faults.NoReset || !c.srv.NodeFree(n) {
+			continue
+		}
+		switch k {
+		case faults.RebootReset:
+			c.nodes[n].ResetMonitor()
+		case faults.RestartReset:
+			c.nodes[n].ResetExtendedTotals()
+		}
+		c.pendingRebase[n] = true
+		c.dayCov.Resets++
+	}
+	for n := range c.fates {
+		switch {
+		case c.plan.Down(n, dayTick):
+			c.fates[n] = faults.FateDown
+		case c.plan.Dropped(n, dayTick):
+			c.fates[n] = faults.FateDropped
+		case c.pendingRebase[n]:
+			c.fates[n] = faults.FateRebase
+		case c.plan.Duplicated(n, dayTick):
+			c.fates[n] = faults.FateDuplicated
+		default:
+			c.fates[n] = faults.FateCaptured
+		}
+	}
+	return c.fates
+}
+
+// tallyFaultTick folds the tick's fates into the day ledger and reports
+// whether the tick's cluster delta is gap-free (every node captured over
+// exactly one sample period).
+func (c *Campaign) tallyFaultTick(at simclock.Time, fates []faults.Fate) bool {
+	now, prevTick := at.Seconds(), c.lastTick.Seconds()
+	clean := true
+	for n, f := range fates {
+		c.dayCov.Expected++
+		switch f {
+		case faults.FateDown:
+			c.dayCov.Down++
+			clean = false
+		case faults.FateDropped:
+			c.dayCov.Dropped++
+			clean = false
+		case faults.FateRebase:
+			c.dayCov.Captured++
+			c.dayCov.Rebased++
+			// The interval back to the last capture was destroyed by the
+			// reset; the rebase observes nothing.
+			c.dayCov.LostNodeSeconds += now - c.lastCaptured[n]
+			c.pendingRebase[n] = false
+			c.lastCaptured[n] = now
+			clean = false
+		default: // FateCaptured, FateDuplicated
+			c.dayCov.Captured++
+			if f == faults.FateDuplicated {
+				c.dayCov.Duplicates++
+			}
+			if c.lastCaptured[n] != prevTick {
+				clean = false // delta bridges an earlier gap
+			}
+			c.dayCov.CoveredNodeSeconds += now - c.lastCaptured[n]
+			c.lastCaptured[n] = now
+		}
+	}
+	return clean
 }
 
 // endDay closes out the current day and streams it to the reducer.
@@ -401,6 +536,12 @@ func (c *Campaign) endDay(dayIdx int) {
 	c.prevBusyNS = busy
 	c.red.ReduceDay(c.curDay)
 	c.curDay = Day{}
+	if c.cfg.Faults != nil {
+		c.dayCov.Day = dayIdx
+		c.report.Days = append(c.report.Days, c.dayCov)
+		c.report.Total.Add(c.dayCov.Coverage)
+		c.dayCov = faults.DayCoverage{}
+	}
 }
 
 // schedulePlan enqueues a generated day's submissions onto the clock.
@@ -445,6 +586,13 @@ func (c *Campaign) RunInto(red Reducer) {
 	ticksPerDay := int(86400 / c.cfg.SamplePeriodSeconds)
 	total := simclock.Days(float64(c.cfg.Days))
 
+	if c.cfg.Faults != nil {
+		c.ticksPerDay = ticksPerDay
+		c.fates = make([]faults.Fate, c.cfg.Nodes)
+		c.pendingRebase = make([]bool, c.cfg.Nodes)
+		c.lastCaptured = make([]float64, c.cfg.Nodes)
+	}
+
 	// Generate stage: plan every day and schedule its submissions. Plans
 	// only depend on (Config, mix, day), so this loop could run in any
 	// order; the events land on the clock in deterministic time order
@@ -457,7 +605,7 @@ func (c *Campaign) RunInto(red Reducer) {
 	// closes the day after folding its last interval in.
 	tickNo := 0
 	c.clock.EveryUntil(period, period, total, func(at simclock.Time) {
-		c.tick(at)
+		c.tick(at, tickNo)
 		tickNo++
 		if tickNo%ticksPerDay == 0 {
 			c.endDay(tickNo/ticksPerDay - 1)
@@ -466,11 +614,19 @@ func (c *Campaign) RunInto(red Reducer) {
 	c.clock.RunUntil(total)
 
 	// Reduce stage: end-of-campaign aggregates.
+	var cov *faults.Report
+	if c.cfg.Faults != nil {
+		cov = &c.report
+		if err := cov.Check(); err != nil {
+			panic(fmt.Sprintf("workload: coverage ledger corrupt: %v", err))
+		}
+	}
 	c.red.Finish(Final{
 		Config:         c.cfg,
 		Records:        c.srv.Records(),
 		MaxGflops15min: c.maxG15,
 		DroppedRecords: c.srv.DroppedRecords(),
+		Coverage:       cov,
 	})
 	c.red = nil
 }
