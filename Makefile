@@ -46,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanInvariants$$' -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run '^$$' -fuzz '^FuzzEpilogueDelay$$' -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzMetricsEncode$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 # Every property test in the tree, under the race detector.
 property:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/power2"
 	"repro/internal/profile"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -311,12 +312,15 @@ func BenchmarkCPUSimulation(b *testing.B) {
 	cpu.RunLimited(s, uint64(b.N))
 }
 
-// BenchmarkCampaignDay measures one simulated day of the full campaign
-// (job generation, PBS scheduling, profile extrapolation, daily reduction)
-// at serial and full-parallel engine settings; the Result is bit-identical
-// at every setting, so the sub-benchmarks differ only in wall-clock.
-func BenchmarkCampaignDay(b *testing.B) {
+// benchCampaignDay is the shared body of the campaign-day benches: one
+// simulated day of the full campaign (job generation, PBS scheduling,
+// profile extrapolation, daily reduction) at serial and full-parallel
+// engine settings; the Result is bit-identical at every setting, so the
+// sub-benchmarks differ only in wall-clock.
+func benchCampaignDay(b *testing.B, withTelemetry bool) {
 	campaign(b) // ensure profiles measured
+	telemetry.SetEnabled(withTelemetry)
+	defer telemetry.SetEnabled(true)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -327,6 +331,19 @@ func BenchmarkCampaignDay(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaignDay runs with telemetry disabled: the baseline half of
+// the hpmtel overhead contract.
+func BenchmarkCampaignDay(b *testing.B) {
+	benchCampaignDay(b, false)
+}
+
+// BenchmarkCampaignDayTelemetry is the identical workload with hpmtel
+// observing it; the contract is <2% over BenchmarkCampaignDay. The two
+// benches share one body so the comparison can never drift.
+func BenchmarkCampaignDayTelemetry(b *testing.B) {
+	benchCampaignDay(b, true)
 }
 
 // BenchmarkMeasureStandard measures the six-kernel profile stage as the

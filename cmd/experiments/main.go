@@ -19,6 +19,7 @@ import (
 	"repro/internal/cliperf"
 	"repro/internal/faults"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,9 +44,14 @@ func main() {
 	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix when running fresh; reductions use covered time")
 	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
+	telFmt := flag.String("telemetry", "", `append the hpmtel self-measurement snapshot after the outputs ("text" or "json")`)
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	flag.Parse()
+	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
+		fmt.Fprintf(os.Stderr, "experiments: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
+		os.Exit(2)
+	}
 
 	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
 	if err != nil {
@@ -126,5 +132,24 @@ func main() {
 	}
 	if *all || *npb {
 		fmt.Println(analysis.MeasureNPBSuite(*seed, 400_000).Render())
+	}
+
+	// The hpmtel snapshot: whatever this process measured of itself —
+	// campaign stages, profile-store traffic — appended after the paper
+	// artifacts. Taken at exit so the table/figure recomputation above is
+	// included.
+	if *telFmt != "" {
+		fmt.Printf("\n=== telemetry (hpmtel) ===\n")
+		snap := telemetry.Default.Snapshot()
+		var err error
+		if *telFmt == "json" {
+			err = snap.WriteJSON(os.Stdout)
+		} else {
+			err = snap.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

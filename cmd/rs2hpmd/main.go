@@ -6,14 +6,19 @@
 // Usage:
 //
 //	rs2hpmd [-addr 127.0.0.1:7117] [-nodes 4] [-kernel cfd] [-chunk 200000]
+//	        [-http 127.0.0.1:0]
 //
 // The daemon prints its bound address on startup (useful with :0) and runs
-// until interrupted.
+// until interrupted. With -http it also serves its own telemetry — the
+// paper's self-measurement ethos applied to the daemon itself — at
+// /metrics (Prometheus text) and /debug/hpmvars (JSON).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/node"
 	"repro/internal/rs2hpm"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func main() {
 	tick := flag.Duration("tick", 250*time.Millisecond, "wall-clock interval between simulation bursts")
 	flaky := flag.Float64("flaky", 0, "probability a counter read fails transiently (0 disables; exercises client retry paths)")
 	flakySeed := flag.Uint64("flaky-seed", 1, "seed for the deterministic read-failure stream")
+	httpAddr := flag.String("http", "", "serve telemetry over HTTP here (/metrics and /debug/hpmvars; empty disables)")
 	flag.Parse()
 
 	k, ok := kernels.ByName(*kernel)
@@ -61,6 +68,20 @@ func main() {
 	}
 	fmt.Printf("rs2hpmd: serving %d nodes running %q on %s\n", *nNodes, k.Name, bound)
 
+	telemetry.Default.Gauge("rs2hpmd.nodes").Set(int64(*nNodes))
+	telTicks := telemetry.Default.Counter("rs2hpmd.ticks")
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rs2hpmd: telemetry listen: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("rs2hpmd: telemetry on http://%s/metrics and /debug/hpmvars\n", ln.Addr())
+	}
+
 	// Keep the counters moving: each tick simulates a burst on every node.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -69,6 +90,7 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
+			telTicks.Inc()
 			for i, nd := range nodes {
 				nd.RunLimited(streams[i], *chunk)
 			}

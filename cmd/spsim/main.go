@@ -6,7 +6,8 @@
 // Usage:
 //
 //	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-faults] [-o db.json.gz]
-//	      [-csv jobs.csv] [-profile-cache profiles.json.gz] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-csv jobs.csv] [-telemetry text|json] [-profile-cache profiles.json.gz]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -46,9 +47,14 @@ func main() {
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
+	telFmt := flag.String("telemetry", "", `append the hpmtel self-measurement snapshot after the summary ("text" or "json")`)
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	flag.Parse()
+	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
+		fmt.Fprintf(os.Stderr, "spsim: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
+		os.Exit(2)
+	}
 
 	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
 	if err != nil {
@@ -83,11 +89,15 @@ func main() {
 	}
 	fmt.Printf("running %d-day campaign on %d nodes (%d workers)...\n", cfg.Days, cfg.Nodes, *workers)
 	var rr workload.ResultReducer
-	red := workload.Reducer(&rr)
+	var telRed workload.TelemetryReducer
+	tee := workload.TeeReducer{&rr}
 	if *verbose {
-		red = workload.TeeReducer{dayPrinter{cfg.Nodes}, &rr}
+		tee = append(workload.TeeReducer{dayPrinter{cfg.Nodes}}, tee...)
 	}
-	workload.NewCampaign(cfg, workload.DefaultMix(std)).RunInto(red)
+	if *telFmt != "" {
+		tee = append(tee, &telRed)
+	}
+	workload.NewCampaign(cfg, workload.DefaultMix(std)).RunInto(tee)
 	res := rr.Result()
 
 	if *out != "" {
@@ -153,5 +163,21 @@ func main() {
 
 	if res.Coverage != nil {
 		fmt.Printf("\n%s", res.Coverage.Render())
+	}
+
+	// The hpmtel snapshot captured at campaign Finish: the run measuring
+	// its own execution, appended after the simulated results.
+	if *telFmt != "" {
+		fmt.Printf("\n=== telemetry (hpmtel) ===\n")
+		var err error
+		if *telFmt == "json" {
+			err = telRed.Snapshot.WriteJSON(os.Stdout)
+		} else {
+			err = telRed.Snapshot.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

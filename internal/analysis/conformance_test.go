@@ -1,0 +1,175 @@
+package analysis
+
+// The conformance suite: every paper-band assertion scattered through the
+// package's tests, consolidated into one table driven by
+// testdata/paper_bands.json. Each band records the value the paper
+// reports, the tolerance this reproduction accepts, and the table or
+// figure it comes from — so a failure reads as "the reproduction drifted
+// from Table 3", not as an anonymous number mismatch.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+type paperBand struct {
+	Metric string  `json:"metric"`
+	Paper  float64 `json:"paper"`
+	Note   string  `json:"note"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Ref    string  `json:"ref"`
+}
+
+type paperBands struct {
+	Source string      `json:"source"`
+	Bands  []paperBand `json:"bands"`
+}
+
+func loadPaperBands(t *testing.T) paperBands {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/paper_bands.json")
+	if err != nil {
+		t.Fatalf("paper bands: %v", err)
+	}
+	var pb paperBands
+	if err := json.Unmarshal(raw, &pb); err != nil {
+		t.Fatalf("paper bands: %v", err)
+	}
+	if pb.Source == "" || len(pb.Bands) == 0 {
+		t.Fatal("paper bands file is empty")
+	}
+	return pb
+}
+
+// table3Row digs a labelled row's campaign average out of Table 3.
+func table3Row(t *testing.T, t3 Table3, label string) float64 {
+	t.Helper()
+	for _, sec := range t3.Sections {
+		for _, row := range sec.Rows {
+			if row.Label == label {
+				return row.Avg
+			}
+		}
+	}
+	t.Fatalf("Table 3 has no row %q", label)
+	return 0
+}
+
+// conformanceMetrics computes every banded metric from one campaign. The
+// map keys must cover exactly the metrics named in paper_bands.json; the
+// test fails on either a band with no extractor or an extractor with no
+// band, so the JSON file and this table cannot drift apart silently.
+func conformanceMetrics(t *testing.T, res workload.Result) map[string]float64 {
+	t.Helper()
+	t2 := ComputeTable2(res)
+	if t2.GoodDays == 0 {
+		t.Skip("campaign produced no >2 Gflops days to band against")
+	}
+	t3 := ComputeTable3(res)
+	f2 := ComputeFigure2(res)
+	f3 := ComputeFigure3(res)
+	f4 := ComputeFigure4(res)
+	f5 := ComputeFigure5(res)
+
+	collapse := 0.0
+	if f3.MeanUpTo64 > 0 {
+		collapse = f3.MeanBeyond64 / f3.MeanUpTo64
+	}
+	fxu0 := table3Row(t, t3, "Mips-Fixed Point (Unit 0)")
+	fxu1 := table3Row(t, t3, "Mips-Fixed Point (Unit 1)")
+	asym := 0.0
+	if fxu0 > 0 {
+		asym = fxu1 / fxu0
+	}
+
+	return map[string]float64{
+		"avg_mflops_per_node":           t2.AvgMflops,
+		"avg_mips_per_node":             t2.AvgMips,
+		"good_day_utilization":          t2.AvgUtil,
+		"fma_fraction":                  t3.FMAFraction,
+		"fpu_asymmetry":                 t3.FPUAsymmetry,
+		"flops_per_memref":              t3.FlopsPerMem,
+		"cache_miss_ratio":              t3.CacheRatio,
+		"tlb_miss_ratio":                t3.TLBRatio,
+		"mflops_div":                    table3Row(t, t3, "Mflops-div"),
+		"fxu1_over_fxu0_mips":           asym,
+		"delay_per_memref_cycles":       t3.DelayPerMem,
+		"fig2_peak_nodes":               float64(f2.PeakNodes),
+		"fig2_over64_walltime_frac":     f2.Over64Frac,
+		"fig3_beyond64_collapse_ratio":  collapse,
+		"fig3_peak_mflops_per_node":     f3.PeakMflops,
+		"fig4_16node_mean_mflops":       f4.Mean,
+		"fig4_16node_std_mflops":        f4.Std,
+		"fig5_intervention_correlation": f5.Corr,
+	}
+}
+
+func TestPaperConformance(t *testing.T) {
+	pb := loadPaperBands(t)
+	got := conformanceMetrics(t, campaign(t))
+
+	seen := map[string]bool{}
+	for _, b := range pb.Bands {
+		b := b
+		t.Run(b.Metric, func(t *testing.T) {
+			v, ok := got[b.Metric]
+			if !ok {
+				t.Fatalf("band %q (%s) has no extractor in conformanceMetrics", b.Metric, b.Ref)
+			}
+			if b.Lo > b.Hi {
+				t.Fatalf("band %q is inverted: lo %v > hi %v", b.Metric, b.Lo, b.Hi)
+			}
+			if v < b.Lo || v > b.Hi {
+				t.Errorf("%s = %v outside [%v, %v]; paper reports %v (%s: %s)",
+					b.Metric, v, b.Lo, b.Hi, b.Paper, b.Ref, b.Note)
+			}
+		})
+		seen[b.Metric] = true
+	}
+	for m := range got {
+		if !seen[m] {
+			t.Errorf("metric %q computed but has no band in paper_bands.json", m)
+		}
+	}
+}
+
+// TestPaperConformanceBandsSane checks the bands file itself: every band
+// brackets the paper's own value (a band the paper fails is a typo) and
+// cites a table or figure.
+func TestPaperConformanceBandsSane(t *testing.T) {
+	pb := loadPaperBands(t)
+	for _, b := range pb.Bands {
+		if b.Ref == "" {
+			t.Errorf("band %q cites no paper table/figure", b.Metric)
+		}
+		if b.Paper < b.Lo || b.Paper > b.Hi {
+			t.Errorf("band %q does not bracket the paper value %v: [%v, %v]",
+				b.Metric, b.Paper, b.Lo, b.Hi)
+		}
+	}
+}
+
+// TestPaperConformanceReport prints the full scorecard under -v: one line
+// per band, measured value against the paper's, so a conformance run
+// doubles as the reproduction's summary table.
+func TestPaperConformanceReport(t *testing.T) {
+	pb := loadPaperBands(t)
+	got := conformanceMetrics(t, campaign(t))
+	for _, b := range pb.Bands {
+		v, ok := got[b.Metric]
+		if !ok {
+			continue
+		}
+		status := "ok"
+		if v < b.Lo || v > b.Hi {
+			status = "OUT OF BAND"
+		}
+		t.Log(fmt.Sprintf("%-30s %12.4f  paper %8.3f  band [%g, %g]  %-8s %s",
+			b.Metric, v, b.Paper, b.Lo, b.Hi, b.Ref, status))
+	}
+}

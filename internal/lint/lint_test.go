@@ -84,6 +84,11 @@ func TestAnalyzerGolden(t *testing.T) {
 		// package whose whole contract is seeded reproducibility, reaching
 		// for the clocks and streams it must never touch.
 		{"faults", []*Analyzer{NondeterminismAnalyzer()}},
+		// The telemetry fixture mirrors the hpmtel metrics core: a
+		// mutex-guarded registry with a lock-free fast path, plus the
+		// per-observation clock and rand reads an observability layer
+		// must not take.
+		{"telemetry", []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -194,6 +199,28 @@ func TestEnginePackagesClean(t *testing.T) {
 	diags := RunAnalyzers(pkgs, []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()})
 	for _, d := range diags {
 		t.Errorf("engine finding: %s", d)
+	}
+}
+
+// TestTelemetryPackageClean pins hpmtel's observation contract from the
+// linter's side: the metrics core shares atomic state across every engine
+// worker (guarded), and its only clock read is span.go's suppressed
+// monotonic origin (nondeterminism) — any new wall-clock or math/rand
+// reach must either go through that bottleneck or fail here. As with the
+// engine gate, TestRepoIsClean subsumes this, but this keeps failing
+// loudly even if a suppression is added there.
+func TestTelemetryPackageClean(t *testing.T) {
+	root, _, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()})
+	for _, d := range diags {
+		t.Errorf("telemetry finding: %s", d)
 	}
 }
 

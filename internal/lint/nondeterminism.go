@@ -27,6 +27,11 @@ var simulatorPackages = map[string]bool{
 	// faults schedules every injected failure from seeded substreams; a
 	// wall-clock or math/rand draw there would make outages unreproducible.
 	"faults": true,
+	// telemetry observes the simulator from inside the same process; its
+	// one sanctioned wall-clock read (span.go's monotonic origin) carries a
+	// suppression, and everything else must stay off the clock so that
+	// enabling observation cannot perturb a seeded campaign.
+	"telemetry": true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

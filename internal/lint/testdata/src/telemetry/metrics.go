@@ -1,0 +1,74 @@
+// Package telemetry is a violation fixture mirroring the hpmtel metrics
+// core: a mutex-guarded registry read lock-free on the "fast path", and
+// the wall-clock and math/rand reads an observability layer is always
+// tempted to take. The real internal/telemetry must confine its clock to
+// one suppressed read; everything here shows what the analyzers catch
+// when that discipline slips.
+package telemetry
+
+import (
+	"math/rand" // want `imports math/rand`
+	"sync"
+	"time"
+)
+
+// registry mirrors the hpmtel Registry shape: named counters behind a
+// mutex.
+type registry struct {
+	mu       sync.Mutex
+	counters map[string]*uint64 // guarded by mu
+}
+
+// counter is the correct get-or-create path.
+func (r *registry) counter(name string) *uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = map[string]*uint64{}
+	}
+	c := new(uint64)
+	r.counters[name] = c
+	return c
+}
+
+// fastPath is the classic metrics-library bug: a lock-free map read racing
+// the guarded writes.
+func (r *registry) fastPath(name string) *uint64 {
+	if c, ok := r.counters[name]; ok { // want `r\.counters is guarded by r\.mu`
+		return c
+	}
+	return r.counter(name)
+}
+
+// snapshotRacy copies the map without the lock, from a reporting goroutine.
+func (r *registry) snapshotRacy(out chan<- int) {
+	go func() {
+		out <- len(r.counters) // want `r\.counters is guarded by r\.mu`
+	}()
+}
+
+// stamp reads the wall clock per observation — the perturbation hpmtel's
+// disabled path exists to avoid.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `calls time\.Now`
+}
+
+// elapsed compounds it with a second clock read.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `calls time\.Since`
+}
+
+// sampleJitter draws from the global stream to decide whether to record.
+func sampleJitter() bool {
+	return rand.Float64() < 0.01
+}
+
+// origin shows the one sanctioned shape: a process-start origin read once,
+// suppressed with its reason, as internal/telemetry's span.go does.
+func origin() time.Time {
+	//hpmlint:ignore nondeterminism single monotonic origin for stopwatch spans; never feeds the simulation
+	return time.Now()
+}

@@ -20,6 +20,18 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/power2"
+	"repro/internal/telemetry"
+)
+
+// hpmtel instrumentation: cache effectiveness plus the latency of the
+// miss path (a full micro-simulation). Every Store in the process feeds
+// the same handles — the store is a process-wide concern, and the
+// per-instance split already exists in Stats().
+var (
+	telStore       = telemetry.Default.Scope("profile.store")
+	telStoreHits   = telStore.Counter("hits")
+	telStoreMisses = telStore.Counter("misses")
+	telStoreLoadNs = telStore.Histogram("load_ns", telemetry.DurationBuckets)
 )
 
 // Key identifies one deterministic micro-simulation: the registry kernel
@@ -66,12 +78,16 @@ func (s *Store) Measure(k kernels.Kernel, cfg power2.Config, n uint64) Measureme
 	if m, ok := s.measurements[key]; ok {
 		s.hits++
 		s.mu.Unlock()
+		telStoreHits.Inc()
 		return m
 	}
 	s.misses++
 	s.mu.Unlock()
+	telStoreMisses.Inc()
 
+	w := telemetry.StartWatch()
 	m := MeasureRunKernel(k, cfg, n)
+	w.Record(telStoreLoadNs)
 	s.mu.Lock()
 	s.measurements[key] = m
 	s.mu.Unlock()

@@ -113,31 +113,33 @@ func (d *Daemon) acceptLoop(ln net.Listener) {
 
 // serve handles one client connection.
 func (d *Daemon) serve(conn net.Conn) {
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
+	telDaemonConns.Inc()
+	sc := bufio.NewScanner(countingReader{conn, telDaemonBytesRx})
+	w := bufio.NewWriter(countingWriter{conn, telDaemonBytesTx})
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
+		telDaemonCmds.Inc()
 		switch strings.ToUpper(fields[0]) {
 		case "NODES":
 			d.writeNodes(w)
 		case "COUNTERS":
 			if len(fields) != 2 {
-				fmt.Fprintf(w, "ERR usage: COUNTERS <node>\n")
+				errf(w, "ERR usage: COUNTERS <node>\n")
 				break
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil {
-				fmt.Fprintf(w, "ERR bad node id %q\n", fields[1])
+				errf(w, "ERR bad node id %q\n", fields[1])
 				break
 			}
 			d.writeCounters(w, id)
 		case "ARM":
 			if len(fields) != 3 {
-				fmt.Fprintf(w, "ERR usage: ARM <node|*> <selection>\n")
+				errf(w, "ERR usage: ARM <node|*> <selection>\n")
 				break
 			}
 			d.arm(w, fields[1], fields[2])
@@ -145,12 +147,18 @@ func (d *Daemon) serve(conn net.Conn) {
 			w.Flush()
 			return
 		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+			errf(w, "ERR unknown command %q\n", fields[0])
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// errf writes an ERR response and counts it.
+func errf(w *bufio.Writer, format string, args ...any) {
+	telDaemonErrs.Inc()
+	fmt.Fprintf(w, format, args...)
 }
 
 func (d *Daemon) writeNodes(w *bufio.Writer) {
@@ -172,14 +180,14 @@ func (d *Daemon) writeCounters(w *bufio.Writer, id int) {
 	src, ok := d.sources[id]
 	d.mu.Unlock()
 	if !ok {
-		fmt.Fprintf(w, "ERR no such node %d\n", id)
+		errf(w, "ERR no such node %d\n", id)
 		return
 	}
 	var totals hpm.Counts64
 	if ts, ok := src.(TrySource); ok {
 		var err error
 		if totals, err = ts.TryCounters(); err != nil {
-			fmt.Fprintf(w, "ERR read node %d: %v\n", id, err)
+			errf(w, "ERR read node %d: %v\n", id, err)
 			return
 		}
 	} else {
@@ -210,18 +218,18 @@ func (d *Daemon) arm(w *bufio.Writer, nodeArg, selection string) {
 	}
 	d.mu.Unlock()
 	if len(targets) == 0 {
-		fmt.Fprintf(w, "ERR no such node %q\n", nodeArg)
+		errf(w, "ERR no such node %q\n", nodeArg)
 		return
 	}
 	armed := 0
 	for _, s := range targets {
 		a, ok := s.(Armer)
 		if !ok {
-			fmt.Fprintf(w, "ERR node %d cannot re-arm\n", s.NodeID())
+			errf(w, "ERR node %d cannot re-arm\n", s.NodeID())
 			return
 		}
 		if err := a.ArmSelection(selection); err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			errf(w, "ERR %v\n", err)
 			return
 		}
 		armed++
@@ -258,7 +266,12 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rs2hpm: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, sc: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
+	telClientDials.Inc()
+	return &Client{
+		conn: conn,
+		sc:   bufio.NewScanner(countingReader{conn, telClientBytesRx}),
+		w:    bufio.NewWriter(countingWriter{conn, telClientBytesTx}),
+	}, nil
 }
 
 // Close terminates the session.
@@ -533,13 +546,16 @@ func NewCollectorConfig(addr string, log *SampleLog, cfg CollectorConfig) *Colle
 // the sweep: the miss is gap-marked in the log, the remaining nodes are
 // still sampled, and the returned error summarises the abandoned reads.
 func (c *Collector) CollectOnce(atSeconds float64) error {
+	telSweeps.Inc()
 	cl, err := Dial(c.addr)
 	if err != nil {
+		telSweepErrors.Inc()
 		return err
 	}
 	defer cl.Close()
 	ids, err := cl.Nodes()
 	if err != nil {
+		telSweepErrors.Inc()
 		return err
 	}
 	var abandoned []int
@@ -547,14 +563,18 @@ func (c *Collector) CollectOnce(atSeconds float64) error {
 		snap, err := c.readWithRetry(cl, id)
 		if err != nil {
 			c.log.AddGap(Gap{AtSeconds: atSeconds, Node: id, Reason: err.Error()})
+			telGaps.Inc()
 			abandoned = append(abandoned, id)
 			continue
 		}
 		if err := c.log.Add(Sample{AtSeconds: atSeconds, Node: id, Snap: snap}); err != nil {
+			telSweepErrors.Inc()
 			return err
 		}
+		telSamples.Inc()
 	}
 	if len(abandoned) > 0 {
+		telSweepErrors.Inc()
 		return fmt.Errorf("rs2hpm: sweep at %vs gap-marked %d node read(s) %v after %d attempt(s) each",
 			atSeconds, len(abandoned), abandoned, c.cfg.Retries+1)
 	}
@@ -566,8 +586,12 @@ func (c *Collector) CollectOnce(atSeconds float64) error {
 func (c *Collector) readWithRetry(cl *Client, id int) (hpm.Counts64, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		if attempt > 0 && c.cfg.Backoff != nil {
-			c.cfg.Backoff(attempt)
+		if attempt > 0 {
+			telRetries.Inc()
+			if c.cfg.Backoff != nil {
+				telBackoffs.Inc()
+				c.cfg.Backoff(attempt)
+			}
 		}
 		snap, err := cl.Counters(id)
 		if err == nil {

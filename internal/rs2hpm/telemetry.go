@@ -1,0 +1,59 @@
+package rs2hpm
+
+// hpmtel instrumentation for the collection path — the reproduction of
+// the paper's own self-measurement ethos applied to the measurement tools
+// themselves: how many sweeps and samples the collector performed, how
+// often it retried, backed off or gap-marked, and the bytes the line
+// protocol moved on the wire (both directions, both ends).
+
+import (
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	telCollector   = telemetry.Default.Scope("rs2hpm.collector")
+	telSweeps      = telCollector.Counter("sweeps")
+	telSweepErrors = telCollector.Counter("sweep_errors")
+	telSamples     = telCollector.Counter("samples")
+	telGaps        = telCollector.Counter("gaps")
+	telRetries     = telCollector.Counter("retries")
+	telBackoffs    = telCollector.Counter("backoffs")
+
+	telClient        = telemetry.Default.Scope("rs2hpm.client")
+	telClientDials   = telClient.Counter("dials")
+	telClientBytesRx = telClient.Counter("bytes_rx")
+	telClientBytesTx = telClient.Counter("bytes_tx")
+
+	telDaemon        = telemetry.Default.Scope("rs2hpm.daemon")
+	telDaemonConns   = telDaemon.Counter("conns")
+	telDaemonCmds    = telDaemon.Counter("commands")
+	telDaemonErrs    = telDaemon.Counter("errors")
+	telDaemonBytesRx = telDaemon.Counter("bytes_rx")
+	telDaemonBytesTx = telDaemon.Counter("bytes_tx")
+)
+
+// countingReader counts bytes read from the wire into a counter.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
+
+// countingWriter counts bytes written to the wire into a counter.
+type countingWriter struct {
+	w io.Writer
+	c *telemetry.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}

@@ -1,0 +1,191 @@
+// Snapshot encoders. Three formats, all deterministic for a quiesced
+// registry (name-sorted, stable float formatting):
+//
+//   - Prometheus text exposition (WriteMetrics, served at /metrics);
+//   - expvar-style JSON (WriteJSON, served at /debug/hpmvars and behind
+//     the CLIs' -telemetry json);
+//   - a human-readable dump (WriteText, -telemetry text).
+//
+// Metric names are free-form dotted strings internally; the Prometheus
+// encoder sanitizes them to the exposition grammar, so arbitrary names
+// (FuzzMetricsEncode feeds them) still produce well-formed output.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// sanitizeFloat clamps non-finite aggregates to encodable sentinels:
+// observation sums could overflow to ±Inf over a long enough run, and
+// encoding/json refuses non-finite values — the telemetry endpoint must
+// never be the thing that fails.
+func sanitizeFloat(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+func floatToBits(v float64) uint64   { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// promName sanitizes a metric name to the Prometheus exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_', an empty or
+// digit-leading name gains a '_' prefix.
+func promName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !promNameByte(name[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if promNameByte(c, false) {
+			b = append(b, c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 || !promNameByte(b[0], true) {
+		b = append([]byte{'_'}, b...)
+	}
+	return string(b)
+}
+
+func promNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// promFloat formats a float the way the exposition format expects.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): TYPE comments, counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets plus _sum and
+// _count series.
+func (s Snapshot) WriteMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, cnt := range h.Counts {
+			cum += cnt
+			le := math.Inf(1)
+			if i < len(h.Bounds) {
+				le = h.Bounds[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, promFloat(le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(sanitizeFloat(h.Sum)))
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+// jsonBucket is one non-cumulative bucket; Le is null for +Inf.
+type jsonBucket struct {
+	Le    *float64 `json:"le"`
+	Count uint64   `json:"count"`
+}
+
+// WriteJSON writes the snapshot as an expvar-style JSON document:
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}. Map keys
+// are the raw metric names; encoding/json sorts them, so output is
+// deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]jsonHistogram, len(s.Histograms)),
+	}
+	for _, c := range s.Counters {
+		doc.Counters[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		doc.Gauges[g.Name] = g.Value
+	}
+	for _, h := range s.Histograms {
+		jh := jsonHistogram{Count: h.Count, Sum: sanitizeFloat(h.Sum), Buckets: make([]jsonBucket, len(h.Counts))}
+		for i, cnt := range h.Counts {
+			jh.Buckets[i] = jsonBucket{Count: cnt}
+			if i < len(h.Bounds) {
+				le := sanitizeFloat(h.Bounds[i])
+				jh.Buckets[i].Le = &le
+			}
+		}
+		doc.Histograms[h.Name] = jh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText writes a human-readable dump: one line per metric, sorted,
+// histograms summarised as count/mean.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "%-44s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(bw, "%-44s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = sanitizeFloat(h.Sum) / float64(h.Count)
+		}
+		fmt.Fprintf(bw, "%-44s count=%d mean=%.4g\n", h.Name, h.Count, mean)
+	}
+	return bw.Flush()
+}

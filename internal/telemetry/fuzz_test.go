@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsEncode drives the /metrics and /debug/hpmvars encoders with
+// arbitrary metric names, values and histogram bounds. The invariants:
+// encoding never panics or errors, the Prometheus text output obeys the
+// exposition grammar line by line, the JSON output is valid JSON, and a
+// quiesced snapshot encodes identically twice.
+func FuzzMetricsEncode(f *testing.F) {
+	f.Add("rs2hpm.collector.gaps", uint64(3), "rs2hpmd.nodes", int64(-4), "profile.store.load_ns", 1e3, 250.0, 99.5)
+	f.Add("", uint64(0), "9leading", int64(1), "sp ce\x00y", -1.0, 0.0, 1e308)
+	f.Add("dup", uint64(1), "dup", int64(2), "dup", 0.0, 1e308, 1e308)
+	f.Fuzz(func(t *testing.T, cname string, cval uint64, gname string, gval int64, hname string, bound, v1, v2 float64) {
+		r := NewRegistry()
+		r.Counter(cname).Add(cval)
+		r.Gauge(gname).Set(gval)
+		h := r.Histogram(hname, []float64{bound, bound * 2})
+		h.Observe(v1)
+		h.Observe(v2)
+		snap := r.Snapshot()
+
+		var prom bytes.Buffer
+		if err := snap.WriteMetrics(&prom); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		checkExposition(t, prom.String())
+
+		var prom2 bytes.Buffer
+		if err := snap.WriteMetrics(&prom2); err != nil {
+			t.Fatal(err)
+		}
+		if prom.String() != prom2.String() {
+			t.Fatal("non-deterministic Prometheus encoding")
+		}
+
+		var js bytes.Buffer
+		if err := snap.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid(js.Bytes()) {
+			t.Fatalf("invalid JSON:\n%s", js.String())
+		}
+
+		var txt bytes.Buffer
+		if err := snap.WriteText(&txt); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+	})
+}
+
+// checkExposition validates each non-comment line of Prometheus text
+// output: a grammar-valid metric name (optionally with an le label),
+// one space, and a parseable number.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			label := name[i:]
+			name = name[:i]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("bad label in %q", line)
+			}
+		}
+		for i := 0; i < len(name); i++ {
+			if !promNameByte(name[i], i == 0) {
+				t.Fatalf("invalid metric name %q in %q", name, line)
+			}
+		}
+		if val != "+Inf" && val != "-Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("unparseable value %q in %q: %v", val, line, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// The HTTP exposure: rs2hpmd (and any other long-running binary) mounts
+// Handler to serve the live registry — /metrics in Prometheus text for
+// scrapers, /debug/hpmvars as expvar-style JSON for humans with curl.
+// The handler snapshots per request; it never blocks writers.
+
+package telemetry
+
+import "net/http"
+
+// Handler serves r's live metrics at /metrics (Prometheus text) and
+// /debug/hpmvars (JSON). Unknown paths 404.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/hpmvars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.Snapshot().WriteJSON(w)
+	})
+	return mux
+}

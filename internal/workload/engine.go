@@ -10,6 +10,7 @@ package workload
 // results for any worker count.
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/faults"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/rng"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // jobRun is one executing job's extrapolation state. Its rnd is the job's
@@ -76,16 +78,22 @@ func NewEngine(workers int) Engine {
 type serialEngine struct{}
 
 func (serialEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
+	w := telemetry.StartWatch()
 	for _, r := range runs {
 		r.advanceTo(t)
 	}
+	w.Record(telAdvanceNs)
+	telAdvanced.Add(uint64(len(runs)))
 }
 
 func (serialEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64, fates []faults.Fate) hpm.Delta {
+	w := telemetry.StartWatch()
 	var total hpm.Delta
 	for i, nd := range nodes {
 		total.Add(sampleNode(nd, prev, fates, i))
 	}
+	w.Record(telSampleNs)
+	telSampled.Add(uint64(len(nodes)))
 	return total
 }
 
@@ -150,10 +158,16 @@ func newPoolEngine(workers int) *poolEngine {
 	e := &poolEngine{workers: workers, tasks: make(chan func())}
 	for w := 0; w < workers; w++ {
 		e.alive.Add(1)
+		// Per-worker busy-time accumulators share names across engines of
+		// the same width, so totals aggregate across campaigns in one
+		// process — the per-worker view of pool utilisation.
+		busy := telEngine.Counter(fmt.Sprintf("worker%d.busy_ns", w))
 		go func() {
 			defer e.alive.Done()
 			for fn := range e.tasks {
+				sw := telemetry.StartWatch()
 				fn()
+				sw.AddTo(busy)
 			}
 		}()
 	}
@@ -187,6 +201,11 @@ func (e *poolEngine) runSharded(n int, body func(shard, shards int)) {
 }
 
 func (e *poolEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
+	w := telemetry.StartWatch()
+	defer func() {
+		w.Record(telAdvanceNs)
+		telAdvanced.Add(uint64(len(runs)))
+	}()
 	e.runSharded(len(runs), func(shard, shards int) {
 		var n uint64
 		for i := shard; i < len(runs); i += shards {
@@ -200,6 +219,11 @@ func (e *poolEngine) AdvanceRuns(runs []*jobRun, t simclock.Time) {
 }
 
 func (e *poolEngine) SampleNodes(nodes []*node.Node, prev []hpm.Counts64, fates []faults.Fate) hpm.Delta {
+	w := telemetry.StartWatch()
+	defer func() {
+		w.Record(telSampleNs)
+		telSampled.Add(uint64(len(nodes)))
+	}()
 	if cap(e.scratch) < len(nodes) {
 		e.scratch = make([]hpm.Delta, len(nodes))
 	}

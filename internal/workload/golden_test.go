@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // goldenCampaignHash is resultHash of the seed-7, 2-day campaign below,
@@ -34,17 +35,25 @@ func TestGoldenCampaignHash(t *testing.T) {
 		t.Skip("golden campaign is a full 2-day simulation")
 	}
 	cases := []struct {
-		name    string
-		store   bool
-		workers int
+		name      string
+		store     bool
+		workers   int
+		telemetry bool
 	}{
-		{"store=off/workers=1", false, 1},
-		{"store=off/workers=8", false, 8},
-		{"store=on/workers=1", true, 1},
-		{"store=on/workers=8", true, 8},
+		{"store=off/workers=1/telemetry=on", false, 1, true},
+		{"store=off/workers=8/telemetry=on", false, 8, true},
+		{"store=on/workers=1/telemetry=on", true, 1, true},
+		{"store=on/workers=8/telemetry=on", true, 8, true},
+		// The hpmtel contract: observation must never perturb the
+		// simulation, so the hash holds with telemetry off too — at both
+		// engine settings, against the same golden constant.
+		{"store=on/workers=1/telemetry=off", true, 1, false},
+		{"store=on/workers=8/telemetry=off", true, 8, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			telemetry.SetEnabled(tc.telemetry)
+			defer telemetry.SetEnabled(true)
 			var store *profile.Store
 			if tc.store {
 				store = profile.NewStore()

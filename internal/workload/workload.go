@@ -39,6 +39,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/rng"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -540,6 +541,15 @@ func (c *Campaign) endDay(dayIdx int) {
 		c.dayCov.Day = dayIdx
 		c.report.Days = append(c.report.Days, c.dayCov)
 		c.report.Total.Add(c.dayCov.Coverage)
+		// Fates per day, batched from the ledger: one atomic Add per fate
+		// per day instead of one per node per tick.
+		addLedger(telFateCaptured, c.dayCov.Captured)
+		addLedger(telFateDropped, c.dayCov.Dropped)
+		addLedger(telFateDown, c.dayCov.Down)
+		addLedger(telFateRebased, c.dayCov.Rebased)
+		addLedger(telFateDuplicates, c.dayCov.Duplicates)
+		addLedger(telFaultResets, c.dayCov.Resets)
+		addLedger(telDelayedEpilogues, c.dayCov.DelayedEpilogues)
 		c.dayCov = faults.DayCoverage{}
 	}
 }
@@ -598,17 +608,25 @@ func (c *Campaign) RunInto(red Reducer) {
 	// order; the events land on the clock in deterministic time order
 	// regardless.
 	for d := 0; d < c.cfg.Days; d++ {
+		w := telemetry.StartWatch()
 		c.schedulePlan(c.gen.GenerateDay(d))
+		w.Record(telGenerateNs)
 	}
 
 	// Simulate stage: the sampler; the tick landing on a day boundary
 	// closes the day after folding its last interval in.
 	tickNo := 0
 	c.clock.EveryUntil(period, period, total, func(at simclock.Time) {
+		w := telemetry.StartWatch()
 		c.tick(at, tickNo)
+		w.Record(telTickNs)
+		telTicks.Inc()
 		tickNo++
 		if tickNo%ticksPerDay == 0 {
+			wd := telemetry.StartWatch()
 			c.endDay(tickNo/ticksPerDay - 1)
+			wd.Record(telReduceNs)
+			telDays.Inc()
 		}
 	})
 	c.clock.RunUntil(total)
