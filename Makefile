@@ -15,13 +15,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Baseline-gated: only findings absent from the committed (empty) baseline
+# fail, so the gate is a ratchet — accepted debt is written down, anything
+# new is an error.
 lint:
-	$(GO) run ./cmd/hpmlint ./...
+	$(GO) run ./cmd/hpmlint -baseline .hpmlint-baseline.json ./...
 
 # The violation fixtures must keep producing findings; a linter that goes
-# quiet is worse than no linter.
+# quiet is worse than no linter. -expect compares exact per-fixture,
+# per-rule counts against the committed golden file, so a linter that
+# fails to build (or an analyzer that is silently neutered) fails the
+# gate — the old `! hpmlint` form counted both as a pass.
 lint-fixtures:
-	! $(GO) run ./cmd/hpmlint ./internal/lint/testdata/src/...
+	cd internal/lint && $(GO) run ../../cmd/hpmlint -expect testdata/fixture_counts.json ./testdata/src/...
 
 # One pass over every paper benchmark; the human-readable run streams to
 # the terminal and the parsed table lands in BENCH_campaign.json.
@@ -47,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzEpilogueDelay$$' -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzMetricsEncode$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz '^FuzzBaselineDecode$$' -fuzztime $(FUZZTIME) ./internal/lint/
 
 # Every property test in the tree, under the race detector.
 property:

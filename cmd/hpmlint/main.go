@@ -3,23 +3,51 @@
 //
 //	go run ./cmd/hpmlint ./...
 //
-// It exits 0 when every finding is fixed or explicitly suppressed with an
-// //hpmlint:ignore <rule> <reason> comment, 1 when findings remain, and 2
-// on usage or load errors. See internal/lint for the rules.
+// Exit code contract (CI depends on it):
+//
+//	0  no findings (or all findings baselined / expectations met)
+//	1  findings remain, new findings versus the baseline, or an -expect
+//	   count mismatch
+//	2  usage errors, load/type-check errors, or an unreadable baseline
+//	   or expectations file
+//
+// Flags:
+//
+//	-rules                  list the analyzers and exit
+//	-format text|json|sarif findings output format (default text)
+//	-baseline FILE          fail only on findings not in FILE; report
+//	                        stale entries on stderr
+//	-write-baseline FILE    write the current findings to FILE and exit 0
+//	-expect FILE            compare per-fixture-directory rule counts
+//	                        against the golden JSON in FILE
+//
+// Findings are suppressed in source with //hpmlint:ignore <rule> <reason>.
+// See internal/lint for the rules.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path"
+	"sort"
 
 	"repro/internal/lint"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("rules", false, "list the analyzers and exit")
+	format := flag.String("format", "text", "findings output format: text, json, or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file; only findings absent from it fail the run")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	expectPath := flag.String("expect", "", "golden per-fixture rule-count JSON to compare findings against")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hpmlint [-rules] <packages>\n")
+		fmt.Fprintf(os.Stderr, "usage: hpmlint [-rules] [-format text|json|sarif] [-baseline FILE] [-write-baseline FILE] [-expect FILE] <packages>\n")
 		fmt.Fprintf(os.Stderr, "packages are directory patterns: ./... or ./internal/hpm\n")
 		flag.PrintDefaults()
 	}
@@ -29,28 +57,174 @@ func main() {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "hpmlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpmlint:", err)
-		os.Exit(2)
+		return 2
 	}
 	diags, err := lint.Run(cwd, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpmlint:", err)
-		os.Exit(2)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		return 2
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "hpmlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	findings := lint.Findings(diags, root)
+
+	if *writeBaseline != "" {
+		data, err := lint.EncodeBaseline(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpmlint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*writeBaseline, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hpmlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "hpmlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
 	}
+
+	if *expectPath != "" {
+		return checkExpectations(*expectPath, findings)
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpmlint:", err)
+			return 2
+		}
+		base, err := lint.DecodeBaseline(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpmlint:", err)
+			return 2
+		}
+		fresh, stale := lint.DiffBaseline(findings, base)
+		for _, f := range stale {
+			fmt.Fprintf(os.Stderr, "hpmlint: stale baseline entry (no longer fires): %s: %s: %s\n", f.File, f.Rule, f.Message)
+		}
+		if len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "hpmlint: re-run with -write-baseline to shrink the baseline\n")
+		}
+		findings = fresh
+	}
+
+	if err := emit(*format, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "hpmlint: %d new finding(s) not in baseline\n", len(findings))
+		} else {
+			fmt.Fprintf(os.Stderr, "hpmlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// emit writes findings to stdout in the selected format. A clean run still
+// emits valid (empty) json/sarif documents, so consumers can parse
+// unconditionally.
+func emit(format string, findings []lint.Finding) error {
+	switch format {
+	case "json":
+		return lint.WriteJSON(os.Stdout, findings)
+	case "sarif":
+		return lint.WriteSARIF(os.Stdout, findings, lint.Analyzers())
+	default:
+		return lint.WriteText(os.Stdout, findings)
+	}
+}
+
+// checkExpectations compares findings, grouped by the base name of the
+// directory that produced them, against the golden counts file:
+//
+//	{"puretaint": {"puretaint": 7}, "locks": {"lockorder": 5, "guarded": 1}}
+//
+// The comparison is exact in both directions: a fixture producing the
+// wrong count, an expected fixture producing nothing, and an unexpected
+// fixture producing anything all fail. This is how CI proves the linter
+// still *detects* — a build-broken or silently-neutered analyzer cannot
+// sneak through as "no findings".
+func checkExpectations(path_ string, findings []lint.Finding) int {
+	data, err := os.ReadFile(path_)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpmlint:", err)
+		return 2
+	}
+	var want map[string]map[string]int
+	if err := json.Unmarshal(data, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmlint: %s: %v\n", path_, err)
+		return 2
+	}
+
+	got := make(map[string]map[string]int)
+	for _, f := range findings {
+		fixture := path.Base(path.Dir(f.File))
+		if got[fixture] == nil {
+			got[fixture] = make(map[string]int)
+		}
+		got[fixture][f.Rule]++
+	}
+
+	var problems []string
+	keys := make(map[string]bool)
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	var fixtures []string
+	for k := range keys {
+		fixtures = append(fixtures, k)
+	}
+	sort.Strings(fixtures)
+	for _, fixture := range fixtures {
+		rules := make(map[string]bool)
+		for r := range want[fixture] {
+			rules[r] = true
+		}
+		for r := range got[fixture] {
+			rules[r] = true
+		}
+		var ruleNames []string
+		for r := range rules {
+			ruleNames = append(ruleNames, r)
+		}
+		sort.Strings(ruleNames)
+		for _, r := range ruleNames {
+			w, g := want[fixture][r], got[fixture][r]
+			if w != g {
+				problems = append(problems, fmt.Sprintf("%s: rule %s: want %d finding(s), got %d", fixture, r, w, g))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "hpmlint: expectation mismatch:", p)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "hpmlint: expectations met: %d finding(s) across %d fixture(s)\n", len(findings), len(want))
+	return 0
 }

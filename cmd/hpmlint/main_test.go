@@ -1,0 +1,359 @@
+package main
+
+// The CLI contract test: exit codes, output schemas, suppression
+// round-trips and the baseline/expectation gates, exercised end to end
+// against the built binary. Each case runs hpmlint inside a throwaway
+// module so the assertions cannot be perturbed by (or perturb) the real
+// tree.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds hpmlint once per test run.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hpmlint-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "hpmlint")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building hpmlint: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// module writes a throwaway module with the given files (path -> source)
+// and returns its root.
+func module(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLint executes hpmlint in dir and returns (stdout, stderr, exit code).
+func runLint(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running hpmlint: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+const cleanSrc = `package clean
+
+// Key derives a profile key.
+//
+//hpmlint:pure
+func Key(seed uint64) uint64 { return seed * 2654435761 }
+`
+
+// dirtySrc has exactly one finding: a clock read on a pure chain.
+const dirtySrc = `package dirty
+
+import "time"
+
+// Key mixes in the clock — the violation under test.
+//
+//hpmlint:pure
+func Key(seed uint64) uint64 {
+	return seed ^ salt()
+}
+
+func salt() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+`
+
+// suppressedSrc is dirtySrc with the sanctioned suppression in place.
+const suppressedSrc = `package dirty
+
+import "time"
+
+// Key mixes in the clock, by recorded decision.
+//
+//hpmlint:pure
+func Key(seed uint64) uint64 {
+	return seed ^ salt()
+}
+
+func salt() uint64 {
+	//hpmlint:ignore puretaint boot salt is recorded in the run manifest
+	return uint64(time.Now().UnixNano())
+}
+`
+
+func TestExitCodeClean(t *testing.T) {
+	dir := module(t, map[string]string{"clean/clean.go": cleanSrc})
+	stdout, _, code := runLint(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, stdout:\n%s", code, stdout)
+	}
+	if stdout != "" {
+		t.Errorf("clean module: unexpected output %q", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := module(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	stdout, stderr, code := runLint(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "puretaint") || !strings.Contains(stdout, "reads the wall clock") {
+		t.Errorf("finding not reported:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+}
+
+func TestExitCodeUsage(t *testing.T) {
+	dir := module(t, map[string]string{"clean/clean.go": cleanSrc})
+	cases := [][]string{
+		{},                                  // no patterns
+		{"-format", "yaml", "./..."},        // unknown format
+		{"-baseline", "nope.json", "./..."}, // missing baseline file
+		{"./no/such/dir"},                   // load error
+	}
+	for _, args := range cases {
+		if _, _, code := runLint(t, dir, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestFormatJSONSchema(t *testing.T) {
+	dir := module(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	stdout, _, code := runLint(t, dir, "-format", "json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep struct {
+		Version  int `json:"version"`
+		Findings []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not the json envelope: %v\n%s", err, stdout)
+	}
+	if rep.Version != 1 {
+		t.Errorf("version = %d, want 1", rep.Version)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings in json output")
+	}
+	f := rep.Findings[0]
+	if f.Rule != "puretaint" || f.File != "dirty/dirty.go" || f.Line == 0 {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) {
+		t.Errorf("file not a slash-relative path: %q", f.File)
+	}
+
+	// A clean run still emits a parseable (empty) envelope.
+	clean := module(t, map[string]string{"clean/clean.go": cleanSrc})
+	stdout, _, code = runLint(t, clean, "-format", "json", "./...")
+	if code != 0 {
+		t.Fatalf("clean: exit %d", code)
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("clean json: %v\n%s", err, stdout)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("clean run findings = %v, want present-and-empty", rep.Findings)
+	}
+}
+
+func TestFormatSARIF(t *testing.T) {
+	dir := module(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	stdout, _, code := runLint(t, dir, "-format", "sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("stdout is not sarif: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("unexpected sarif: %s", stdout)
+	}
+	if log.Runs[0].Results[0].RuleID != "puretaint" {
+		t.Errorf("ruleId = %q", log.Runs[0].Results[0].RuleID)
+	}
+}
+
+// TestSuppressionRoundTrip proves //hpmlint:ignore flips the exit code and
+// nothing else does: same code, with and without the comment.
+func TestSuppressionRoundTrip(t *testing.T) {
+	dirty := module(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	if _, _, code := runLint(t, dirty, "./..."); code != 1 {
+		t.Fatalf("unsuppressed: exit %d, want 1", code)
+	}
+	sup := module(t, map[string]string{"dirty/dirty.go": suppressedSrc})
+	stdout, _, code := runLint(t, sup, "./...")
+	if code != 0 {
+		t.Fatalf("suppressed: exit %d, want 0\n%s", code, stdout)
+	}
+}
+
+func TestBaselineGate(t *testing.T) {
+	dir := module(t, map[string]string{"dirty/dirty.go": dirtySrc})
+
+	// Accept the current findings as the baseline.
+	_, stderr, code := runLint(t, dir, "-write-baseline", "base.json", "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline: exit %d\n%s", code, stderr)
+	}
+	// Gated run is now clean.
+	stdout, _, code := runLint(t, dir, "-baseline", "base.json", "./...")
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d\n%s", code, stdout)
+	}
+
+	// A second violation is new against the baseline: exit 1, and only
+	// the new finding is reported.
+	second := strings.Replace(dirtySrc, "package dirty", "package dirty2", 1)
+	if err := os.MkdirAll(filepath.Join(dir, "dirty2"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dirty2", "dirty2.go"), []byte(second), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runLint(t, dir, "-baseline", "base.json", "./...")
+	if code != 1 {
+		t.Fatalf("new finding vs baseline: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "dirty2") || strings.Contains(stdout, "dirty/dirty.go") {
+		t.Errorf("should report only the new finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "new finding(s) not in baseline") {
+		t.Errorf("stderr: %q", stderr)
+	}
+
+	// Fix the original violation: its baseline entry is stale, reported on
+	// stderr, but the gate stays green.
+	if err := os.WriteFile(filepath.Join(dir, "dirty", "dirty.go"), []byte(suppressedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "dirty2")); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runLint(t, dir, "-baseline", "base.json", "./...")
+	if code != 0 {
+		t.Fatalf("stale-only run: exit %d, want 0\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") {
+		t.Errorf("stale entry not reported: %q", stderr)
+	}
+}
+
+func TestExpectGate(t *testing.T) {
+	dir := module(t, map[string]string{
+		"dirty/dirty.go": dirtySrc,
+		"clean/clean.go": cleanSrc,
+	})
+	good := `{"dirty": {"puretaint": 1}}`
+	if err := os.WriteFile(filepath.Join(dir, "want.json"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runLint(t, dir, "-expect", "want.json", "./...")
+	if code != 0 {
+		t.Fatalf("matching expectations: exit %d\n%s", code, stderr)
+	}
+
+	// Wrong count, missing fixture, and unexpected fixture all fail.
+	for _, bad := range []string{
+		`{"dirty": {"puretaint": 2}}`,
+		`{"dirty": {"puretaint": 1}, "ghost": {"puretaint": 1}}`,
+		`{}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "want.json"), []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, stderr, code = runLint(t, dir, "-expect", "want.json", "./...")
+		if code != 1 {
+			t.Errorf("expectations %s: exit %d, want 1\n%s", bad, code, stderr)
+		}
+		if !strings.Contains(stderr, "expectation mismatch") {
+			t.Errorf("expectations %s: stderr %q", bad, stderr)
+		}
+	}
+
+	// An unreadable expectations file is an environment error, not a lint
+	// failure.
+	if _, _, code := runLint(t, dir, "-expect", "missing.json", "./..."); code != 2 {
+		t.Errorf("missing expectations file: exit %d, want 2", code)
+	}
+}
+
+func TestRulesListsAllAnalyzers(t *testing.T) {
+	dir := module(t, map[string]string{"clean/clean.go": cleanSrc})
+	stdout, _, code := runLint(t, dir, "-rules")
+	if code != 0 {
+		t.Fatalf("-rules: exit %d", code)
+	}
+	for _, rule := range []string{
+		"nondeterminism", "counterwidth", "guarded", "floatcompare",
+		"unitsmixing", "puretaint", "lockorder", "hotalloc",
+	} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-rules output missing %s:\n%s", rule, stdout)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomFinding draws one finding from seeded substreams, covering empty
+// and unicode-ish message content.
+func randomFinding(r *rng.Source) Finding {
+	rules := []string{"puretaint", "lockorder", "hotalloc", "guarded", "nondeterminism"}
+	files := []string{
+		"internal/power2/power2.go",
+		"internal/vm/vm.go",
+		"internal/telemetry/telemetry.go",
+		"cmd/hpmlint/main.go",
+	}
+	msgs := []string{
+		"make allocates",
+		"reads the wall clock via time.Now",
+		"completes a lock-order cycle {a <-> b}",
+		"ranges over a map; iteration order is nondeterministic",
+		"boxes into interface parameter (interface{})",
+		"",
+	}
+	return Finding{
+		Rule:    rules[r.Intn(len(rules))],
+		File:    files[r.Intn(len(files))],
+		Line:    r.Intn(5000),
+		Col:     r.Intn(200),
+		Message: msgs[r.Intn(len(msgs))] + fmt.Sprintf(" #%d", r.Intn(10)),
+	}
+}
+
+// TestBaselineRoundTripProperty is the property test behind the gate: for
+// seeded random finding sets, write -> read -> diff against the identical
+// set is empty both ways, and encoding is canonical (encode(decode(x)) ==
+// x for encoder output).
+func TestBaselineRoundTripProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := rng.Stream(0xba5e11e, seed)
+		fs := make([]Finding, r.Intn(40))
+		for i := range fs {
+			fs[i] = randomFinding(r)
+		}
+		// Duplicates exercise the multiset semantics.
+		if len(fs) > 2 {
+			fs = append(fs, fs[0], fs[1], fs[1])
+		}
+
+		data, err := EncodeBaseline(fs)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		base, err := DecodeBaseline(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if len(base.Findings) != len(fs) {
+			t.Fatalf("seed %d: round trip changed cardinality: %d != %d", seed, len(base.Findings), len(fs))
+		}
+		fresh, stale := DiffBaseline(fs, base)
+		if len(fresh) != 0 || len(stale) != 0 {
+			t.Errorf("seed %d: diff of identical sets not empty: %d new, %d stale", seed, len(fresh), len(stale))
+		}
+
+		again, err := EncodeBaseline(base.Findings)
+		if err != nil {
+			t.Fatalf("seed %d: re-encode: %v", seed, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("seed %d: encoding is not canonical", seed)
+		}
+
+		// Dropping one finding from the baseline must surface exactly one
+		// new finding; adding one must surface exactly one stale entry.
+		if len(fs) > 0 {
+			short := &Baseline{Version: base.Version, Findings: base.Findings[1:]}
+			fresh, _ = DiffBaseline(fs, short)
+			if len(fresh) != 1 {
+				t.Errorf("seed %d: removing one baseline entry => %d new findings, want 1", seed, len(fresh))
+			}
+			extra := append([]Finding{{Rule: "x", File: "y.go", Message: "z"}}, base.Findings...)
+			_, stale = DiffBaseline(fs, &Baseline{Version: base.Version, Findings: extra})
+			if len(stale) != 1 {
+				t.Errorf("seed %d: adding one baseline entry => %d stale, want 1", seed, len(stale))
+			}
+		}
+	}
+}
+
+// TestDiffBaselineLineInsensitive pins the stability property: a finding
+// that only moved lines still matches its baseline entry.
+func TestDiffBaselineLineInsensitive(t *testing.T) {
+	f := Finding{Rule: "hotalloc", File: "a.go", Line: 10, Col: 3, Message: "make allocates"}
+	moved := f
+	moved.Line, moved.Col = 99, 7
+	data, err := EncodeBaseline([]Finding{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := DecodeBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := DiffBaseline([]Finding{moved}, base)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("moved finding should match baseline: %d new, %d stale", len(fresh), len(stale))
+	}
+}
+
+// TestDecodeBaselineRejects pins the validation errors.
+func TestDecodeBaselineRejects(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"empty", ""},
+		{"not json", "hello"},
+		{"wrong version", `{"version": 2, "findings": []}`},
+		{"unknown field", `{"version": 1, "findings": [], "extra": true}`},
+		{"missing rule", `{"version": 1, "findings": [{"file": "a.go", "line": 1, "col": 1, "message": "m"}]}`},
+		{"absolute path", `{"version": 1, "findings": [{"rule": "r", "file": "/etc/x.go", "line": 1, "col": 1, "message": "m"}]}`},
+		{"backslash path", `{"version": 1, "findings": [{"rule": "r", "file": "a\\b.go", "line": 1, "col": 1, "message": "m"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBaseline([]byte(tc.data)); err == nil {
+			t.Errorf("%s: DecodeBaseline accepted %q", tc.name, tc.data)
+		}
+	}
+}
+
+// FuzzBaselineDecode throws arbitrary bytes at the decoder: it must never
+// panic, and anything it accepts must survive a canonical re-encode/decode
+// round trip with the same finding multiset.
+func FuzzBaselineDecode(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "findings": []}`))
+	f.Add([]byte(`{"version": 1, "findings": [{"rule": "hotalloc", "file": "a/b.go", "line": 3, "col": 7, "message": "make allocates"}]}`))
+	f.Add([]byte(`{"version": 2, "findings": []}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("{\"version\": 1, \"findings\": [{\"rule\": \"r\", \"file\": \"\\u00e9.go\", \"line\": -1, \"col\": 0, \"message\": \"\\n\"}]}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, err := DecodeBaseline(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeBaseline(base.Findings)
+		if err != nil {
+			t.Fatalf("accepted baseline failed to encode: %v", err)
+		}
+		again, err := DecodeBaseline(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc)
+		}
+		if len(again.Findings) != len(base.Findings) {
+			t.Fatalf("round trip changed cardinality: %d != %d", len(again.Findings), len(base.Findings))
+		}
+		fresh, stale := DiffBaseline(base.Findings, again)
+		if len(fresh) != 0 || len(stale) != 0 {
+			t.Fatalf("round trip changed the multiset: %d new, %d stale", len(fresh), len(stale))
+		}
+	})
+}
+
+// TestWriteJSONStable pins the -format json envelope: field names, order
+// of findings, and the version are the CLI's public contract.
+func TestWriteJSONStable(t *testing.T) {
+	fs := []Finding{
+		{Rule: "b", File: "z.go", Line: 2, Col: 1, Message: "second"},
+		{Rule: "a", File: "a.go", Line: 1, Col: 1, Message: "first"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version  int       `json:"version"`
+		Findings []Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, buf.Bytes())
+	}
+	if rep.Version != 1 || len(rep.Findings) != 2 {
+		t.Fatalf("unexpected envelope: %+v", rep)
+	}
+	if rep.Findings[0].File != "a.go" {
+		t.Errorf("findings not sorted: %+v", rep.Findings)
+	}
+	for _, field := range []string{`"rule"`, `"file"`, `"line"`, `"col"`, `"message"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("json output missing field %s", field)
+		}
+	}
+}
+
+// TestWriteSARIF pins the SARIF skeleton a code-scanning consumer needs.
+func TestWriteSARIF(t *testing.T) {
+	fs := []Finding{{Rule: "hotalloc", File: "a.go", Line: 3, Col: 7, Message: "make allocates"}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, fs, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid sarif: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected sarif shape: %s", buf.String())
+	}
+	if log.Runs[0].Tool.Driver.Name != "hpmlint" {
+		t.Errorf("driver name = %q", log.Runs[0].Tool.Driver.Name)
+	}
+	if n := len(log.Runs[0].Tool.Driver.Rules); n != len(Analyzers())+1 {
+		t.Errorf("rules table has %d entries, want %d", n, len(Analyzers())+1)
+	}
+	if len(log.Runs[0].Results) != 1 || log.Runs[0].Results[0].RuleID != "hotalloc" {
+		t.Errorf("results: %+v", log.Runs[0].Results)
+	}
+}

@@ -1,0 +1,261 @@
+package lint
+
+// A conservative cross-package call graph over the type-checked program.
+// Nodes are function and method declarations with bodies; edges are the
+// statically-resolvable calls between them. Calls the checker cannot pin
+// to one body — through a function value, or through an interface method —
+// are recorded as dynamic call sites rather than silently dropped, so an
+// analyzer that needs soundness (hotalloc on a zero-alloc path) can refuse
+// to certify a function that calls through one. Calls that leave the
+// module (stdlib) are recorded as extern sites with the callee's import
+// path, which is how the taint engines consult their source/denylist
+// tables. Function literals are attributed to the declaration that
+// lexically contains them: the closure is created there, and for every
+// contract hpmlint proves (no clocks, no allocation, lock discipline) the
+// conservative direction is to charge the creator.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// funcNode is one declared function or method in the program.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	pure bool // carries //hpmlint:pure
+	hot  bool // carries //hpmlint:hotpath
+
+	calls    []callEdge   // statically resolved calls to in-program bodies
+	externs  []externCall // calls resolved to functions without in-program bodies
+	dynamics []token.Pos  // calls through function values or interface methods
+}
+
+// name renders the node for diagnostics: Func or (*Recv).Method, qualified
+// with the package name when it is not the reported package.
+func (n *funcNode) name() string {
+	f := n.obj
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + ptr + named.Obj().Name() + ")." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// callEdge is one resolved call site.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// externCall is a call to a function whose body is outside the program
+// (standard library, or a module-local declaration without a body).
+type externCall struct {
+	path string // import path of the defining package ("" for error.Error etc.)
+	name string
+	pos  token.Pos
+}
+
+// callGraph indexes every funcNode by its *types.Func.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (prog *Program) CallGraph() *callGraph {
+	if prog.cg != nil {
+		return prog.cg
+	}
+	g := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, p := range prog.All {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[obj] = &funcNode{
+					obj:  obj,
+					decl: fd,
+					pkg:  p,
+					pure: hasDirective(fd, pureDirective),
+					hot:  hasDirective(fd, hotpathDirective),
+				}
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		g.addEdges(n)
+	}
+	prog.cg = g
+	return g
+}
+
+// addEdges walks one body (function literals included) classifying every
+// call expression.
+func (g *callGraph) addEdges(n *funcNode) {
+	p := n.pkg
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// A conversion parses as a call; it is the alloc classifier's
+		// business, not an edge.
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		callee, dynamic := staticCallee(p, call)
+		switch {
+		case dynamic:
+			n.dynamics = append(n.dynamics, call.Lparen)
+		case callee == nil:
+			// Builtin (len, append, make, ...) — the classifier's business.
+		case g.nodes[callee] != nil:
+			n.calls = append(n.calls, callEdge{callee: callee, pos: call.Lparen})
+		default:
+			path := ""
+			if callee.Pkg() != nil {
+				path = callee.Pkg().Path()
+			}
+			n.externs = append(n.externs, externCall{path: path, name: callee.Name(), pos: call.Lparen})
+		}
+		return true
+	})
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// staticCallee resolves a call expression to the single function it must
+// invoke, or reports it dynamic when no single body can be proven.
+func staticCallee(p *Package, call *ast.CallExpr) (fn *types.Func, dynamic bool) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch o := p.Info.Uses[fun].(type) {
+		case *types.Func:
+			return o, false
+		case *types.Builtin, *types.TypeName, nil:
+			return nil, false
+		default: // *types.Var: a function value
+			return nil, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			switch o := sel.Obj().(type) {
+			case *types.Func:
+				if types.IsInterface(sel.Recv()) {
+					return nil, true // interface method: any implementation
+				}
+				return o, false
+			default: // *types.Var: a func-typed field
+				return nil, true
+			}
+		}
+		// Package-qualified: pkg.Fn, pkg.Var, or pkg.Type.
+		switch o := p.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return o, false
+		case *types.TypeName, nil:
+			return nil, false
+		default:
+			return nil, true
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is walked as part of the
+		// enclosing declaration, so the call itself adds nothing.
+		return nil, false
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType,
+		*ast.StarExpr, *ast.InterfaceType, *ast.StructType:
+		return nil, false // conversion spelled with a type expression
+	default:
+		return nil, true // call of an arbitrary expression (indexing a func slice, ...)
+	}
+}
+
+// reach is one function's membership in a reachability closure, with
+// enough breadcrumbs to print how annotated code gets there.
+type reach struct {
+	node *funcNode
+	from *reach    // nil for a root
+	root *funcNode // the annotated declaration this closure grew from
+}
+
+// via renders the call chain from the root to (but excluding) this node;
+// empty for a root itself. Long chains elide the middle.
+func (r *reach) via() string {
+	var chain []string
+	for cur := r.from; cur != nil; cur = cur.from {
+		chain = append(chain, cur.node.name())
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	if len(chain) > 4 {
+		chain = append(chain[:2], append([]string{"..."}, chain[len(chain)-2:]...)...)
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// reachable computes the closure of the given roots over static call
+// edges, breadth-first and deterministically: roots in source order, edges
+// in body order. Each function keeps the breadcrumb of its first
+// discovery.
+func (g *callGraph) reachable(roots []*funcNode) map[*funcNode]*reach {
+	sort.Slice(roots, func(i, j int) bool { return roots[i].decl.Pos() < roots[j].decl.Pos() })
+	out := make(map[*funcNode]*reach)
+	var queue []*reach
+	for _, r := range roots {
+		if out[r] == nil {
+			out[r] = &reach{node: r, root: r}
+			queue = append(queue, out[r])
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.node.calls {
+			callee := g.nodes[e.callee]
+			if callee == nil || out[callee] != nil {
+				continue
+			}
+			out[callee] = &reach{node: callee, from: cur, root: cur.root}
+			queue = append(queue, out[callee])
+		}
+	}
+	return out
+}
+
+// sortedReaches returns the closure in deterministic declaration order.
+func sortedReaches(m map[*funcNode]*reach) []*reach {
+	out := make([]*reach, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node.decl.Pos() < out[j].node.decl.Pos() })
+	return out
+}

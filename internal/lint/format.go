@@ -1,0 +1,142 @@
+package lint
+
+// Machine-readable output. Two formats beyond the classic file:line:col
+// text: a versioned JSON envelope (the stable interchange format — the
+// baseline file embeds the same Finding schema), and a minimal SARIF 2.1.0
+// log for code-scanning UIs. Both are rendered from Findings, so paths are
+// module-relative and deterministic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line in file:line:col style.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the -format json envelope. Version moves with
+// baselineVersion: the findings array is schema-identical to the baseline's.
+type jsonReport struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteJSON renders the versioned JSON report.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	sorted := append([]Finding(nil), fs...)
+	sortFindings(sorted)
+	if sorted == nil {
+		sorted = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Version: baselineVersion, Findings: sorted})
+}
+
+// Minimal SARIF 2.1.0 structures — only what a viewer needs to place a
+// result: tool metadata with rule descriptions, and one result per finding
+// with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders a single-run SARIF 2.1.0 log. The rules table carries
+// every analyzer in the suite (plus badignore), findings or not, so a
+// viewer can show rule docs for a clean run too.
+func WriteSARIF(w io.Writer, fs []Finding, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "badignore",
+		ShortDescription: sarifText{Text: "suppression comments must name a rule and give a reason"},
+	})
+
+	sorted := append([]Finding(nil), fs...)
+	sortFindings(sorted)
+	results := make([]sarifResult, 0, len(sorted))
+	for _, f := range sorted {
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hpmlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

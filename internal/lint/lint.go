@@ -39,7 +39,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Analyzer is one hpmlint rule.
+// Analyzer is one hpmlint rule. Exactly one of Run and RunProgram is set:
+// Run is a per-package AST walk; RunProgram sees the whole program (matched
+// packages plus dependency closure) and is how the interprocedural
+// analyzers follow call chains across package boundaries.
 type Analyzer struct {
 	// Name is the rule identifier used in reports and suppressions.
 	Name string
@@ -47,6 +50,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and returns its findings.
 	Run func(p *Package) []Diagnostic
+	// RunProgram inspects the whole program and returns its findings.
+	RunProgram func(prog *Program) []Diagnostic
 }
 
 // Analyzers returns the full hpmlint suite in report order.
@@ -57,6 +62,9 @@ func Analyzers() []*Analyzer {
 		GuardedStateAnalyzer(),
 		FloatCompareAnalyzer(),
 		UnitsMixingAnalyzer(),
+		PureTaintAnalyzer(),
+		LockOrderAnalyzer(),
+		HotAllocAnalyzer(),
 	}
 }
 
@@ -117,17 +125,53 @@ func suppressed(d Diagnostic, sups []suppression) bool {
 }
 
 // RunAnalyzers applies the given analyzers to each package, filters
-// suppressed findings, and returns the rest sorted by position.
+// suppressed findings, and returns the rest sorted by position. The
+// packages are treated as a self-contained program (no external dependency
+// closure); use RunProgramAnalyzers with LoadProgram when interprocedural
+// analyzers must follow calls into packages the patterns did not match.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgramAnalyzers(NewProgram(pkgs), analyzers)
+}
+
+// RunProgramAnalyzers applies the given analyzers to the program, filters
+// suppressed findings, and returns the rest sorted by position.
+//
+// Per-package analyzers run on (and suppressions for badignore are
+// reported from) the matched packages only. Interprocedural analyzers run
+// once over the whole program, and their findings are kept wherever they
+// land — a zero-alloc contract broken inside a dependency is still broken.
+// Suppressions are honoured program-wide for the same reason.
+func RunProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, p := range pkgs {
-		sups, bad := collectSuppressions(p)
-		out = append(out, bad...)
+	allSups := make(map[*Package][]suppression, len(prog.All))
+	var sups []suppression
+	for _, p := range prog.All {
+		ps, bad := collectSuppressions(p)
+		allSups[p] = ps
+		sups = append(sups, ps...)
+		if prog.Matched(p) {
+			out = append(out, bad...)
+		}
+	}
+	for _, p := range prog.Pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, d := range a.Run(p) {
-				if !suppressed(d, sups) {
+				if !suppressed(d, allSups[p]) {
 					out = append(out, d)
 				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		for _, d := range a.RunProgram(prog) {
+			if !suppressed(d, sups) {
+				out = append(out, d)
 			}
 		}
 	}
@@ -149,9 +193,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // Run loads the packages matched by patterns (relative to dir) and applies
 // the full suite. It is the library form of the hpmlint command.
 func Run(dir string, patterns ...string) ([]Diagnostic, error) {
-	pkgs, err := Load(dir, patterns...)
+	prog, err := LoadProgram(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	return RunAnalyzers(pkgs, Analyzers()), nil
+	return RunProgramAnalyzers(prog, Analyzers()), nil
 }

@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -89,6 +91,12 @@ func TestAnalyzerGolden(t *testing.T) {
 		// per-observation clock and rand reads an observability layer
 		// must not take.
 		{"telemetry", []*Analyzer{GuardedStateAnalyzer(), NondeterminismAnalyzer()}},
+		// The v2 interprocedural fixtures: each plants violations at the
+		// end of call chains so a pass proves the reachability engine, not
+		// just the per-site classifiers.
+		{"puretaint", []*Analyzer{PureTaintAnalyzer()}},
+		{"hotalloc", []*Analyzer{HotAllocAnalyzer()}},
+		{"lockorder", []*Analyzer{LockOrderAnalyzer()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -159,6 +167,51 @@ func TestFixtureTreeIsDirty(t *testing.T) {
 	}
 	if byRule["badignore"] == 0 {
 		t.Errorf("no badignore findings in the fixture tree")
+	}
+}
+
+// TestFixtureCounts pins the exact per-fixture, per-rule finding counts
+// committed in testdata/fixture_counts.json — the same golden file the
+// `make lint-fixtures` CI gate feeds to `hpmlint -expect`. An analyzer
+// that stops building never gets here (the test suite fails to compile);
+// an analyzer that is silently neutered shows up as a count of zero
+// against a non-zero expectation.
+func TestFixtureCounts(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fixture_counts.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]map[string]int
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("fixture_counts.json: %v", err)
+	}
+	diags, err := Run(".", "testdata/src/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]map[string]int)
+	for _, d := range diags {
+		fixture := filepath.Base(filepath.Dir(d.Pos.Filename))
+		if got[fixture] == nil {
+			got[fixture] = make(map[string]int)
+		}
+		got[fixture][d.Rule]++
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("fixture counts diverge from testdata/fixture_counts.json\nwant: %v\ngot:  %v", want, got)
+	}
+	// Every fixture directory must appear in the golden file: a fixture
+	// producing nothing at all is a neutered fixture, not a clean one.
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, ok := want[e.Name()]; !ok {
+				t.Errorf("fixture %s has no entry in fixture_counts.json", e.Name())
+			}
+		}
 	}
 }
 

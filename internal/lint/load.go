@@ -163,9 +163,16 @@ func (l *loader) parseDir(dir string) ([]*ast.File, string, error) {
 // pattern rooted *inside* a testdata tree matches normally, which is how
 // the violation fixtures are linted on purpose.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, _, err := load(dir, patterns...)
+	return pkgs, err
+}
+
+// load is Load exposing the loader, whose cache holds the dependency
+// closure LoadProgram hands to the interprocedural analyzers.
+func load(dir string, patterns ...string) ([]*Package, *loader, error) {
 	root, modpath, err := moduleRoot(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	l := &loader{
 		fset:    token.NewFileSet(),
@@ -178,7 +185,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var dirs []string
 	seen := make(map[string]bool)
@@ -192,13 +199,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		base, walk := strings.CutSuffix(pat, "...")
 		base = filepath.Join(abs, filepath.FromSlash(strings.TrimSuffix(base, "/")))
 		if !strings.HasPrefix(base+string(filepath.Separator), root+string(filepath.Separator)) {
-			return nil, fmt.Errorf("lint: pattern %q escapes module root %s", pat, root)
+			return nil, nil, fmt.Errorf("lint: pattern %q escapes module root %s", pat, root)
 		}
 		if !walk {
 			if hasGoFiles(base) {
 				add(base)
 			} else {
-				return nil, fmt.Errorf("lint: no Go files in %s", base)
+				return nil, nil, fmt.Errorf("lint: no Go files in %s", base)
 			}
 			continue
 		}
@@ -219,18 +226,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("lint: walk %s: %w", base, err)
+			return nil, nil, fmt.Errorf("lint: walk %s: %w", base, err)
 		}
 	}
 	if len(dirs) == 0 {
-		return nil, fmt.Errorf("lint: patterns %v matched no packages", patterns)
+		return nil, nil, fmt.Errorf("lint: patterns %v matched no packages", patterns)
 	}
 
 	var pkgs []*Package
 	for _, d := range dirs {
 		rel, err := filepath.Rel(root, d)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		path := modpath
 		if rel != "." {
@@ -238,11 +245,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		p, err := l.load(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pkgs = append(pkgs, p)
 	}
-	return pkgs, nil
+	return pkgs, l, nil
 }
 
 // hasGoFiles reports whether dir directly contains at least one non-test

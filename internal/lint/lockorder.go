@@ -1,0 +1,480 @@
+package lint
+
+// lockorder extends the guarded analyzer from "is the lock held here" to
+// "can these locks deadlock". It builds a lock-acquisition graph over the
+// whole program: every sync.Mutex/RWMutex struct field or package-level
+// variable is a lock class, and an edge A -> B means some function
+// acquires B while holding A — directly, or through a statically-resolved
+// call chain (a per-function may-acquire summary computed to fixpoint over
+// the call graph). A cycle in that graph is a potential deadlock: two
+// goroutines entering it from different edges can block forever, which in
+// this repo means a collector daemon that stops serving snapshots
+// mid-campaign. Lock classes are types.Objects, so two instances of the
+// same struct share a class — the standard conservative choice.
+//
+// It also reports the guarded-state escape the per-package analyzer cannot
+// see as such: a goroutine launched *inside* a critical section whose
+// closure touches a field guarded by one of the locks currently held. The
+// lock does not travel with the goroutine, so the access races with
+// whatever the next holder does.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer returns the lockorder interprocedural analyzer.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:       "lockorder",
+		Doc:        "the program-wide lock-acquisition graph must be acyclic, and guarded state must not escape its critical section via goroutine",
+		RunProgram: runLockOrder,
+	}
+}
+
+// lockEvent records acquiring `to` while holding `from`.
+type lockEvent struct {
+	from, to types.Object
+	pos      token.Pos
+	pkg      *Package
+	note     string // "" for a direct Lock, otherwise the call it happens through
+}
+
+type lockInfo struct {
+	names   map[types.Object]string               // lock class -> display name
+	guardOf map[types.Object]types.Object         // guarded field -> its mutex field
+	acquire map[*types.Func]map[types.Object]bool // direct acquisitions per function
+}
+
+func runLockOrder(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+	info := collectLockInfo(prog)
+
+	// Pass 1 per function: direct acquisitions, direct held->acquire
+	// events, calls made while holding, and goroutine escapes.
+	var events []lockEvent
+	var diags []Diagnostic
+	type heldCall struct {
+		held   []types.Object
+		callee *types.Func
+		pos    token.Pos
+		pkg    *Package
+		name   string
+	}
+	var heldCalls []heldCall
+
+	for _, n := range sortedNodes(g) {
+		w := &lockWalker{p: n.pkg, info: info}
+		w.onAcquire = func(lock types.Object, held []types.Object, pos token.Pos) {
+			acq := info.acquire[n.obj]
+			if acq == nil {
+				acq = make(map[types.Object]bool)
+				info.acquire[n.obj] = acq
+			}
+			acq[lock] = true
+			for _, h := range held {
+				events = append(events, lockEvent{from: h, to: lock, pos: pos, pkg: n.pkg})
+			}
+		}
+		w.onCall = func(callee *types.Func, held []types.Object, pos token.Pos) {
+			if len(held) > 0 && g.nodes[callee] != nil {
+				heldCalls = append(heldCalls, heldCall{held: held, callee: callee, pos: pos, pkg: n.pkg, name: g.nodes[callee].name()})
+			}
+		}
+		w.onEscape = func(field types.Object, guard types.Object, pos token.Pos) {
+			diags = append(diags, Diagnostic{
+				Pos:  n.pkg.Fset.Position(pos),
+				Rule: "lockorder",
+				Message: fmt.Sprintf("%s (guarded by %s) is accessed in a goroutine launched while %s is held in %s; the lock does not travel with the goroutine",
+					field.Name(), info.name(guard), info.name(guard), n.name()),
+			})
+		}
+		w.walk(n.decl.Body)
+	}
+
+	// Pass 2: close the per-function may-acquire sets over static calls.
+	mayAcquire := make(map[*types.Func]map[types.Object]bool, len(g.nodes))
+	for obj, acq := range info.acquire {
+		set := make(map[types.Object]bool, len(acq))
+		for l := range acq {
+			set[l] = true
+		}
+		mayAcquire[obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			for _, e := range n.calls {
+				for l := range mayAcquire[e.callee] {
+					set := mayAcquire[n.obj]
+					if set == nil {
+						set = make(map[types.Object]bool)
+						mayAcquire[n.obj] = set
+					}
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: expand calls-while-held into events through the summaries.
+	for _, hc := range heldCalls {
+		locks := sortedLocks(mayAcquire[hc.callee], info)
+		for _, l := range locks {
+			for _, h := range hc.held {
+				events = append(events, lockEvent{
+					from: h, to: l, pos: hc.pos, pkg: hc.pkg,
+					note: fmt.Sprintf("via call to %s", hc.name),
+				})
+			}
+		}
+	}
+
+	// Self-deadlock: acquiring a class already held.
+	for _, e := range events {
+		if e.from == e.to {
+			what := "acquires"
+			if e.note != "" {
+				what = "may acquire (" + e.note + ")"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  e.pkg.Fset.Position(e.pos),
+				Rule: "lockorder",
+				Message: fmt.Sprintf("%s %s while already holding it (self-deadlock for a non-reentrant mutex)",
+					what, info.name(e.from)),
+			})
+		}
+	}
+
+	// Pass 4: cycle detection over the distinct ordered pairs.
+	adj := make(map[types.Object]map[types.Object]bool)
+	for _, e := range events {
+		if e.from == e.to {
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[types.Object]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	scc := stronglyConnected(adj, info)
+	for _, e := range events {
+		if e.from == e.to {
+			continue
+		}
+		cf, okF := scc[e.from]
+		ct, okT := scc[e.to]
+		if !okF || !okT || cf != ct {
+			continue
+		}
+		what := "acquiring"
+		if e.note != "" {
+			what = "possibly acquiring (" + e.note + ")"
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  e.pkg.Fset.Position(e.pos),
+			Rule: "lockorder",
+			Message: fmt.Sprintf("%s %s while holding %s completes a lock-order cycle {%s}; concurrent holders can deadlock",
+				what, info.name(e.to), info.name(e.from), cf),
+		})
+	}
+	return dedupDiags(diags)
+}
+
+func (li *lockInfo) name(o types.Object) string {
+	if n, ok := li.names[o]; ok {
+		return n
+	}
+	if o.Pkg() != nil {
+		return o.Pkg().Name() + "." + o.Name()
+	}
+	return o.Name()
+}
+
+// collectLockInfo indexes every lock class and guarded-field annotation in
+// the program.
+func collectLockInfo(prog *Program) *lockInfo {
+	li := &lockInfo{
+		names:   make(map[types.Object]string),
+		guardOf: make(map[types.Object]types.Object),
+		acquire: make(map[*types.Func]map[types.Object]bool),
+	}
+	for _, p := range prog.All {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch ts := n.(type) {
+				case *ast.TypeSpec:
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					mutexByName := make(map[string]types.Object)
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							obj := p.Info.Defs[name]
+							if obj != nil && isMutexType(obj.Type()) {
+								mutexByName[name.Name] = obj
+								li.names[obj] = p.Name + "." + ts.Name.Name + "." + name.Name
+							}
+						}
+					}
+					for _, fld := range st.Fields.List {
+						m := guardedByRe.FindStringSubmatch(fieldComment(fld))
+						if m == nil {
+							continue
+						}
+						guard, ok := mutexByName[m[1]]
+						if !ok {
+							continue // the guarded analyzer reports the bad annotation
+						}
+						for _, name := range fld.Names {
+							if obj := p.Info.Defs[name]; obj != nil {
+								li.guardOf[obj] = guard
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range ts.Names {
+						obj := p.Info.Defs[name]
+						if obj != nil && isMutexType(obj.Type()) &&
+							obj.Parent() == p.Types.Scope() {
+							li.names[obj] = p.Name + "." + name.Name
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return li
+}
+
+// lockWalker traverses one function body in source order, maintaining the
+// set of held lock classes. Function literals are separate scopes (they
+// may run on another goroutine) and are not entered, except to check
+// goroutine escapes.
+type lockWalker struct {
+	p    *Package
+	info *lockInfo
+	held []types.Object // acquisition order
+
+	onAcquire func(lock types.Object, held []types.Object, pos token.Pos)
+	onCall    func(callee *types.Func, held []types.Object, pos token.Pos)
+	onEscape  func(field, guard types.Object, pos token.Pos)
+}
+
+func (w *lockWalker) heldSnapshot() []types.Object {
+	return append([]types.Object(nil), w.held...)
+}
+
+func (w *lockWalker) holds(o types.Object) bool {
+	for _, h := range w.held {
+		if h == o {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) release(o types.Object) {
+	for i, h := range w.held {
+		if h == o {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *lockWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to the end of the
+			// function, which the linear walk models by simply not
+			// releasing; other deferred work is out of scope.
+			return false
+		case *ast.GoStmt:
+			w.checkEscape(e)
+			return false
+		case *ast.CallExpr:
+			if lock, op, ok := w.mutexOp(e); ok {
+				switch op {
+				case "Lock", "RLock":
+					w.onAcquire(lock, w.heldSnapshot(), e.Lparen)
+					if !w.holds(lock) {
+						w.held = append(w.held, lock)
+					}
+				default: // Unlock, RUnlock
+					w.release(lock)
+				}
+				return true
+			}
+			if callee, dynamic := staticCallee(w.p, e); !dynamic && callee != nil {
+				w.onCall(callee, w.heldSnapshot(), e.Lparen)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// mutexOp resolves mu.Lock()/Unlock()-shaped calls to the lock class they
+// operate on.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	switch recv := unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := w.p.Info.Selections[recv]; ok && s.Kind() == types.FieldVal && isMutexType(s.Obj().Type()) {
+			return s.Obj(), op, true
+		}
+	case *ast.Ident:
+		if v, ok := w.p.Info.Uses[recv].(*types.Var); ok && isMutexType(v.Type()) {
+			return v, op, true
+		}
+	}
+	return nil, "", false
+}
+
+// checkEscape inspects a go statement launched while locks are held: any
+// access in its closure to a field guarded by a held lock is reported.
+func (w *lockWalker) checkEscape(g *ast.GoStmt) {
+	if len(w.held) == 0 {
+		return
+	}
+	fl, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := w.p.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		guard, ok := w.info.guardOf[s.Obj()]
+		if !ok || !w.holds(guard) {
+			return true
+		}
+		w.onEscape(s.Obj(), guard, sel.Pos())
+		return true
+	})
+}
+
+// sortedNodes returns the graph's nodes in declaration order.
+func sortedNodes(g *callGraph) []*funcNode {
+	out := make([]*funcNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}
+
+// sortedLocks orders a lock set by display name for deterministic output.
+func sortedLocks(set map[types.Object]bool, info *lockInfo) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return info.name(out[i]) < info.name(out[j]) })
+	return out
+}
+
+// stronglyConnected labels every lock that sits in a cycle with a
+// deterministic name for its component ({A, B}); locks outside any cycle
+// are absent from the result.
+func stronglyConnected(adj map[types.Object]map[types.Object]bool, info *lockInfo) map[types.Object]string {
+	// Iterative Tarjan over name-sorted nodes and edges.
+	var nodes []types.Object
+	seen := make(map[types.Object]bool)
+	addNode := func(o types.Object) {
+		if !seen[o] {
+			seen[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return info.name(nodes[i]) < info.name(nodes[j]) })
+
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	var stack []types.Object
+	next := 0
+	comp := make(map[types.Object]string)
+
+	var strong func(v types.Object)
+	strong = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, t := range sortedLocks(adj[v], info) {
+			if _, ok := index[t]; !ok {
+				strong(t)
+				if low[t] < low[v] {
+					low[v] = low[t]
+				}
+			} else if onStack[t] && index[t] < low[v] {
+				low[v] = index[t]
+			}
+		}
+		if low[v] == index[v] {
+			var members []types.Object
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				members = append(members, top)
+				if top == v {
+					break
+				}
+			}
+			cyclic := len(members) > 1 || adj[v][v]
+			if cyclic {
+				var names []string
+				for _, m := range members {
+					names = append(names, info.name(m))
+				}
+				sort.Strings(names)
+				label := strings.Join(names, " <-> ")
+				for _, m := range members {
+					comp[m] = label
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,170 @@
+package lint
+
+// puretaint makes the determinism contract of PR 2 a compile-time
+// property. The staged campaign promises that generation, reduction and
+// profile keying are pure functions of the seed: bit-identical at any
+// worker count, on any Go release, on any day. The runtime guards (golden
+// campaign hash, worker-count matrices) catch a violation only after it
+// executes; puretaint catches it where it is written, by walking the call
+// graph from every //hpmlint:pure declaration and rejecting any reachable
+// operation whose result can vary run to run:
+//
+//   - wall-clock reads (time.Now and friends) and the unspecified
+//     math/rand / crypto/rand streams — the classic clock-and-dice taint;
+//   - ranging over a map, whose iteration order is deliberately random;
+//   - writes to package-level variables — shared state that makes the
+//     result depend on call interleaving;
+//   - starting goroutines, whose scheduling order is unspecified;
+//   - calls through function values or interface methods, which the
+//     checker cannot follow — purity must be provable, so an opaque
+//     callee is a finding, not a shrug.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintedExterns are the out-of-module calls that inject nondeterminism.
+// time is matched per function (wallClockFuncs, shared with the
+// nondeterminism analyzer); the rand packages and the environment are
+// tainted wholesale.
+func taintedExtern(e externCall) (string, bool) {
+	switch e.path {
+	case "time":
+		if wallClockFuncs[e.name] {
+			return "reads the wall clock via time." + e.name, true
+		}
+	case "math/rand", "math/rand/v2":
+		return "draws from " + e.path + ", whose stream is unspecified across Go releases", true
+	case "crypto/rand":
+		return "draws from crypto/rand, which is nondeterministic by design", true
+	case "os":
+		switch e.name {
+		case "Getenv", "LookupEnv", "Environ", "Getpid", "Hostname":
+			return "reads ambient process state via os." + e.name, true
+		}
+	}
+	return "", false
+}
+
+// PureTaintAnalyzer returns the puretaint interprocedural analyzer.
+func PureTaintAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:       "puretaint",
+		Doc:        "//hpmlint:pure functions must not transitively reach clocks, unseeded randomness, map-range ordering, or shared writes",
+		RunProgram: runPureTaint,
+	}
+}
+
+func runPureTaint(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if n.pure {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, r := range sortedReaches(g.reachable(roots)) {
+		n := r.node
+		report := func(pos token.Pos, what string) {
+			msg := fmt.Sprintf("%s %s", n.name(), what)
+			if r.from != nil {
+				msg = fmt.Sprintf("%s; reachable from //hpmlint:pure %s (via %s)", msg, r.root.name(), r.via())
+			} else {
+				msg += "; declared //hpmlint:pure"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     n.pkg.Fset.Position(pos),
+				Rule:    "puretaint",
+				Message: msg,
+			})
+		}
+
+		for _, e := range n.externs {
+			if what, bad := taintedExtern(e); bad {
+				report(e.pos, what)
+			}
+		}
+		for _, pos := range n.dynamics {
+			report(pos, "calls through a function value or interface method, which cannot be proven deterministic")
+		}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.RangeStmt:
+				if t := n.pkg.Info.Types[s.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						report(s.For, "ranges over a map; iteration order is nondeterministic")
+					}
+				}
+			case *ast.GoStmt:
+				report(s.Go, "starts a goroutine; scheduling order is nondeterministic")
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if v := packageLevelTarget(n.pkg, lhs); v != nil {
+						report(lhs.Pos(), fmt.Sprintf("writes package-level variable %s; shared state makes results depend on call interleaving", v.Name()))
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := packageLevelTarget(n.pkg, s.X); v != nil {
+					report(s.X.Pos(), fmt.Sprintf("writes package-level variable %s; shared state makes results depend on call interleaving", v.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return dedupDiags(diags)
+}
+
+// packageLevelTarget resolves an assignment target to the package-level
+// variable at its base, if any: g, g.field, g[k], *g's pointee is not
+// tracked (aliasing), but the common spellings are.
+func packageLevelTarget(p *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return nil
+			}
+			return v
+		}
+	}
+}
+
+// dedupDiags removes exact duplicates (same position, rule and message) —
+// a site reachable from several roots is reported once, for its first
+// root in source order.
+func dedupDiags(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file      string
+		line, col int
+		rule      string
+	}
+	seen := make(map[key]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}

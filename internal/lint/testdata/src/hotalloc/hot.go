@@ -1,0 +1,68 @@
+// Package hotkit is the hotalloc violation fixture. It mirrors the shape
+// of the POWER2 per-cycle accounting path: a //hpmlint:hotpath root above
+// a helper that commits every allocation class the analyzer must catch,
+// plus the sanctioned escapes — a panic assertion, a reviewed suppression,
+// and cold code off the path.
+package hotkit
+
+import "fmt"
+
+type counters struct {
+	vals [8]uint64
+	log  []uint64
+	pool []int
+	name string
+	fn   func(int)
+}
+
+// sink accepts any observation; boxing at its call sites is the finding.
+var last interface{}
+
+func sink(v interface{}) { last = v }
+
+// Tick is the annotated root: the per-event accounting path must not
+// touch the heap.
+//
+//hpmlint:hotpath
+func (c *counters) Tick(ev int) {
+	if ev < 0 {
+		// A cannot-happen assertion: the formatting inside panic's
+		// arguments is exempt by design.
+		panic(fmt.Sprintf("hotkit: negative event %d", ev))
+	}
+	c.vals[ev&7]++
+	c.note(ev)
+}
+
+// note is reachable from Tick; every operation below is charged to the
+// hot path.
+func (c *counters) note(ev int) {
+	c.log = append(c.log, uint64(ev)) // want `append may grow its backing array`
+	scratch := make([]uint64, 8)      // want `make allocates`
+	scratch[0] = uint64(ev)
+	fresh := new(counters) // want `new allocates`
+	fresh.vals[0] = scratch[0]
+	shadow := &counters{name: c.name} // want `address of composite literal escapes to the heap`
+	weights := []uint64{1, 2, 4}      // want `slice literal allocates`
+	shadow.vals[1] = weights[ev%3]
+	c.name = c.name + "!"         // want `string concatenation allocates`
+	c.fn = func(int) {}           // want `function literal \(closure\) allocates`
+	go c.flush()                  // want `go statement allocates a goroutine`
+	s := fmt.Sprintf("ev=%d", ev) // want `calls fmt.Sprintf, which allocates` `argument boxes into interface parameter`
+	sink(len(s))                  // want `argument boxes into interface parameter`
+	c.fn(ev)                      // want `calls through a function value or interface method`
+	//hpmlint:ignore hotalloc the pool doubles a bounded number of times then stabilizes
+	c.pool = append(c.pool, ev)
+}
+
+// flush is reachable (via the go statement's call edge) and clean.
+func (c *counters) flush() {
+	for i := range c.vals {
+		c.vals[i] = 0
+	}
+}
+
+// coldSetup is not on any hot path; its allocations are fine.
+func coldSetup() *counters {
+	return &counters{log: make([]uint64, 0, 1024)}
+}

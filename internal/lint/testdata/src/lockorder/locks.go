@@ -1,0 +1,142 @@
+// Package lockkit is the lockorder violation fixture. It plants every
+// deadlock shape the analyzer must catch — a direct ABBA inversion, a
+// cross-struct cycle visible only through the call graph, a self-deadlock
+// through a helper, and guarded state escaping its critical section on a
+// goroutine — next to a disciplined type that proves one-directional
+// nesting stays quiet.
+package lockkit
+
+import "sync"
+
+// pair inverts its own two locks directly: lockAB holds a while taking b,
+// lockBA holds b while taking a.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int // guarded by a
+}
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want `completes a lock-order cycle`
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `completes a lock-order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// meter and journal deadlock only interprocedurally: absorb holds
+// meter.mu while a call chain takes journal.mu, publish holds journal.mu
+// while a call chain takes meter.mu. Neither function is wrong in
+// isolation; the cycle exists only in the whole-program acquisition graph.
+type meter struct {
+	mu   sync.Mutex
+	vals map[string]uint64 // guarded by mu
+}
+
+type journal struct {
+	mu      sync.Mutex
+	entries []string // guarded by mu
+}
+
+func (m *meter) absorb(j *journal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.drain() // want `possibly acquiring \(via call to \(\*journal\).drain\)`
+}
+
+func (j *journal) drain() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = j.entries[:0]
+}
+
+func (j *journal) publish(m *meter) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m.bump() // want `possibly acquiring \(via call to \(\*meter\).bump\)`
+}
+
+func (m *meter) bump() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vals["day"]++
+}
+
+// gate deadlocks against itself: Enter holds gate.mu and calls refresh,
+// which takes it again.
+type gate struct {
+	mu sync.Mutex
+}
+
+func (g *gate) Enter() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refresh() // want `while already holding it`
+}
+
+func (g *gate) refresh() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// spool launches a goroutine inside its critical section; the closure
+// touches guarded state the lock does not protect on that goroutine.
+type spool struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (s *spool) Kick() {
+	s.mu.Lock()
+	go func() {
+		s.n++ // want `accessed in a goroutine launched while`
+	}()
+	s.mu.Unlock()
+}
+
+// relay inverts x and y like pair, but one direction carries a reviewed
+// suppression — only the unsuppressed side is reported.
+type relay struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (r *relay) xy() {
+	r.x.Lock()
+	r.y.Lock() //hpmlint:ignore lockorder fixture: proves suppressions work on cycle reports
+	r.y.Unlock()
+	r.x.Unlock()
+}
+
+func (r *relay) yx() {
+	r.y.Lock()
+	r.x.Lock() // want `completes a lock-order cycle`
+	r.x.Unlock()
+	r.y.Unlock()
+}
+
+// orderly nests its locks in one global order everywhere; an edge without
+// a return path is not a cycle, so none of this is reported.
+type orderly struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+func (o *orderly) Both() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+func (o *orderly) SecondOnly() {
+	o.second.Lock()
+	o.second.Unlock()
+}

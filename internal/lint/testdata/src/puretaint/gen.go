@@ -1,0 +1,128 @@
+// Package genkit is the puretaint violation fixture. It mirrors the shape
+// of the campaign generator: a handful of //hpmlint:pure roots (day
+// generation, reduction, profile keying) above helpers that commit every
+// class of nondeterminism the analyzer must catch — and a few clean or
+// unreachable functions that prove it stays quiet where it should.
+package genkit
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"os"
+	"time"
+)
+
+// generation counts calls; writing it from pure code is shared state.
+var generation int
+
+// GenerateDay is an annotated root: everything reachable from here must be
+// a pure function of (seed, day).
+//
+//hpmlint:pure
+func GenerateDay(seed uint64, day int) uint64 {
+	generation++ // want `writes package-level variable generation`
+	h := mix(seed, uint64(day))
+	h ^= stamp()
+	return h
+}
+
+// mix is reachable and clean: pure arithmetic, no findings.
+func mix(a, b uint64) uint64 {
+	a ^= b * 0x9e3779b97f4a7c15
+	a ^= a >> 33
+	return a
+}
+
+// stamp is reachable from GenerateDay; its clock read taints the root.
+func stamp() uint64 {
+	return uint64(time.Now().UnixNano()) // want `reads the wall clock via time.Now`
+}
+
+// ReduceDay folds per-class counts; map iteration order leaks into the
+// sum for float-valued reductions, so ranging a map is out.
+//
+//hpmlint:pure
+func ReduceDay(counts map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range counts { // want `ranges over a map`
+		total += v
+	}
+	return total
+}
+
+// Keyed applies a caller-supplied transform; an opaque callee cannot be
+// proven deterministic.
+//
+//hpmlint:pure
+func Keyed(seed uint64, f func(uint64) uint64) uint64 {
+	return f(seed) // want `calls through a function value or interface method`
+}
+
+// Fanout races its result through a goroutine.
+//
+//hpmlint:pure
+func Fanout(seed uint64) uint64 {
+	ch := make(chan uint64, 1)
+	go func() { ch <- mix(seed, 1) }() // want `starts a goroutine`
+	return <-ch
+}
+
+// Salt reaches for the hardware entropy pool.
+//
+//hpmlint:pure
+func Salt(seed uint64) uint64 {
+	var b [8]byte
+	rand.Read(b[:]) // want `draws from crypto/rand`
+	return seed ^ uint64(b[0])
+}
+
+// Jitter draws from the global, release-dependent math/rand stream.
+//
+//hpmlint:pure
+func Jitter() float64 {
+	return mrand.Float64() // want `draws from math/rand`
+}
+
+// Site keys output by ambient process state.
+//
+//hpmlint:pure
+func Site(seed uint64) uint64 {
+	site := os.Getenv("HPM_SITE") // want `reads ambient process state via os.Getenv`
+	return mix(seed, uint64(len(site)))
+}
+
+// Seeded mixes in the boot host name by recorded design decision: the
+// suppression keeps the finding out of the report.
+//
+//hpmlint:pure
+func Seeded(seed uint64) uint64 {
+	//hpmlint:ignore puretaint the host mix-in is recorded in the run manifest
+	host, _ := os.Hostname()
+	return mix(seed, uint64(len(host)))
+}
+
+// ProfileKey is a clean root: a pure chain through keyOf and hashString
+// produces no findings at any depth.
+//
+//hpmlint:pure
+func ProfileKey(cfg string, seed uint64) uint64 {
+	return keyOf(cfg, seed)
+}
+
+func keyOf(cfg string, seed uint64) uint64 {
+	return mix(hashString(cfg), seed)
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// wallClockUnreached is neither annotated nor reachable from a pure root;
+// its clock read is not puretaint's business.
+func wallClockUnreached() int64 {
+	return time.Now().UnixNano()
+}

@@ -162,12 +162,16 @@ type CPU struct {
 }
 
 // signal batches a user-mode monitor signal for the current Run.
+//
+//hpmlint:hotpath fires once per modelled event inside the cycle loop
 func (c *CPU) signal(sig hpm.Signal, n uint64) {
 	c.pend[sig] += n
 }
 
 // flushPend pushes all batched signals into the monitor. Must be called
 // before any monitor mode switch or counter read.
+//
+//hpmlint:hotpath runs between every monitor mode switch; BenchmarkRunKernel guards the same path
 func (c *CPU) flushPend() {
 	for sig := range c.pend {
 		if n := c.pend[sig]; n != 0 {
@@ -232,6 +236,8 @@ type Resolved struct {
 
 // Resolve applies the paper's-machine defaults, producing the canonical
 // form of the configuration.
+//
+//hpmlint:pure the profile store keys on Resolved; resolution must be a pure function of Config
 func (cfg Config) Resolve() Resolved {
 	r := Resolved{
 		DCache:          sp2DCacheConfig(),
@@ -432,6 +438,10 @@ func (c *CPU) RunLimited(stream isa.Stream, n uint64) RunStats {
 	return c.Run(isa.NewLimit(stream, n))
 }
 
+// execute models one instruction: fetch, dispatch, unit timing, memory
+// hierarchy, and the monitor signals each step raises.
+//
+//hpmlint:hotpath the per-instruction path of the zero-alloc microsim contract
 func (c *CPU) execute(in *isa.Instr) {
 	if !in.Op.Valid() {
 		panic(fmt.Sprintf("power2: invalid instruction %v", in.Op))

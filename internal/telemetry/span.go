@@ -51,6 +51,8 @@ func (s Stopwatch) ElapsedNanos() int64 {
 }
 
 // Record observes the elapsed nanoseconds into h.
+//
+//hpmlint:hotpath span close-out runs inside the engine's per-day loop
 func (s Stopwatch) Record(h *Histogram) {
 	if s.start == 0 {
 		return
@@ -59,6 +61,8 @@ func (s Stopwatch) Record(h *Histogram) {
 }
 
 // AddTo adds the elapsed nanoseconds to c (for busy-time accumulators).
+//
+//hpmlint:hotpath span close-out runs inside the engine's per-day loop
 func (s Stopwatch) AddTo(c *Counter) {
 	if s.start == 0 {
 		return

@@ -55,9 +55,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//hpmlint:hotpath counters fire inside the simulated CPU's cycle loop
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n.
+//
+//hpmlint:hotpath counters fire inside the simulated CPU's cycle loop
 func (c *Counter) Add(n uint64) {
 	if disabled.Load() {
 		return
@@ -74,6 +78,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//hpmlint:hotpath gauges fire inside the engine's per-day loop
 func (g *Gauge) Set(v int64) {
 	if disabled.Load() {
 		return
@@ -82,6 +88,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the level by d (negative to decrease).
+//
+//hpmlint:hotpath gauges fire inside the engine's per-day loop
 func (g *Gauge) Add(d int64) {
 	if disabled.Load() {
 		return
@@ -126,6 +134,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value. NaN and ±Inf are ignored.
+//
+//hpmlint:hotpath observations fire per measured span; the AllocsPerRun == 0 benchmark guards the same path
 func (h *Histogram) Observe(v float64) {
 	if disabled.Load() || !isFinite(v) {
 		return

@@ -138,6 +138,7 @@ func (m *Manager) Touch(addr uint64, dirty bool) Fault {
 	} else {
 		m.stats.ZeroFills++
 		if m.seen == nil {
+			//hpmlint:ignore hotalloc lazy one-time map allocation on the first fault, amortised to zero over a run
 			m.seen = make(map[uint64]struct{})
 		}
 		m.seen[vpn] = struct{}{}
@@ -148,6 +149,7 @@ func (m *Manager) Touch(addr uint64, dirty bool) Fault {
 		fi = m.nframes - m.free
 		m.free--
 		if fi == len(m.frames) {
+			//hpmlint:ignore hotalloc the frame pool grows to nframes once then stabilises; BenchmarkRunKernel measures the steady state
 			m.frames = append(m.frames, frame{})
 		}
 	} else {
@@ -155,6 +157,7 @@ func (m *Manager) Touch(addr uint64, dirty bool) Fault {
 	}
 	m.frames[fi] = frame{vpn: vpn, valid: true, referenced: true, dirty: dirty}
 	if m.index == nil {
+		//hpmlint:ignore hotalloc lazy one-time map allocation on the first fault, amortised to zero over a run
 		m.index = make(map[uint64]int)
 	}
 	m.index[vpn] = fi

@@ -74,6 +74,8 @@ type mixGenerator struct {
 
 // NewGenerator builds the standard demand generator for a campaign
 // configuration and class mix.
+//
+//hpmlint:pure the generator must be constructible identically on every worker
 func NewGenerator(cfg Config, mix Mix) Generator {
 	return &mixGenerator{
 		cfg:        cfg,
@@ -123,6 +125,8 @@ func (g *mixGenerator) classFor(rnd *rng.Source, nodes int, pagingDay bool) Clas
 // demand set by the day's target utilisation, spread uniformly over the
 // day. Every draw comes from the day's own substream, so the plan depends
 // only on (Config, mix, day).
+//
+//hpmlint:pure the staged engine replays days in any order at any worker count
 func (g *mixGenerator) GenerateDay(day int) DayPlan {
 	rnd := rng.Stream(g.cfg.Seed, genStreamBase+uint64(day))
 

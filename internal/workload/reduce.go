@@ -43,9 +43,13 @@ type ResultReducer struct {
 }
 
 // ReduceDay appends the day to the result.
+//
+//hpmlint:pure reduction must depend only on the day stream, never on timing
 func (r *ResultReducer) ReduceDay(d Day) { r.res.Days = append(r.res.Days, d) }
 
 // Finish folds in the end-of-campaign aggregates.
+//
+//hpmlint:pure reduction must depend only on the day stream, never on timing
 func (r *ResultReducer) Finish(f Final) {
 	r.res.Config = f.Config
 	r.res.Records = f.Records
