@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint lint-fixtures bench benchdiff bench-smoke fuzz-smoke property ci
+.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke fuzz-smoke property ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ lint:
 lint-fixtures:
 	cd internal/lint && $(GO) run ../../cmd/hpmlint -expect testdata/fixture_counts.json ./testdata/src/...
 
+# Validate every committed workload-spec preset through the real CLI
+# path (load, decode, field-path validation). Exit 2 on the first
+# malformed spec, matching the hpmlint convention.
+spec-validate:
+	$(GO) run ./cmd/spsim -validate
+
 # One pass over every paper benchmark; the human-readable run streams to
 # the terminal and the parsed table lands in BENCH_campaign.json.
 bench:
@@ -54,9 +60,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzMetricsEncode$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzBaselineDecode$$' -fuzztime $(FUZZTIME) ./internal/lint/
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecDecode$$' -fuzztime $(FUZZTIME) ./internal/spec/
 
 # Every property test in the tree, under the race detector.
 property:
 	$(GO) test -run Property -race ./...
 
-ci: build vet test race lint lint-fixtures
+ci: build vet test race lint lint-fixtures spec-validate

@@ -7,6 +7,7 @@
 //	experiments -all                       # run 270-day campaign, print everything
 //	experiments -days 90 -table2 -fig3     # shorter campaign, selected outputs
 //	experiments -trace run.json.gz -all    # analyse a saved campaign
+//	experiments -spec bursty -fig1         # run a named workload-spec preset
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cliperf"
 	"repro/internal/faults"
 	"repro/internal/profile"
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -29,6 +31,8 @@ func main() {
 	days := flag.Int("days", 270, "campaign length when running fresh")
 	nodes := flag.Int("nodes", 144, "cluster size when running fresh")
 	seed := flag.Uint64("seed", 1, "seed when running fresh")
+	specRef := flag.String("spec", "", "workload spec when running fresh: a committed preset name or a JSON file path")
+	listPresets := flag.Bool("list-presets", false, "list the committed workload-spec presets and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines (1 = serial; results are seed-identical at any setting)")
 	all := flag.Bool("all", false, "emit every table and figure")
 	t1 := flag.Bool("table1", false, "Table 1: the 22-counter selection")
@@ -51,6 +55,25 @@ func main() {
 	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
 		fmt.Fprintf(os.Stderr, "experiments: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
 		os.Exit(2)
+	}
+	if *listPresets {
+		for _, name := range spec.PresetNames() {
+			s, err := spec.Preset(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s %s\n", name, s.Description)
+		}
+		return
+	}
+	var sp *spec.Spec
+	if *specRef != "" {
+		var err error
+		if sp, err = spec.Load(*specRef); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
@@ -88,18 +111,45 @@ func main() {
 		}
 		fmt.Printf("loaded %d-day campaign from %s\n\n", len(res.Days), *tracePath)
 	} else {
-		fmt.Printf("measuring kernel profiles and running a %d-day campaign on %d nodes (seed %d, %d workers)...\n\n",
-			*days, *nodes, *seed, *workers)
+		label := ""
+		if sp != nil {
+			label = fmt.Sprintf(" [scenario %s]", sp.Name)
+		}
+		fmt.Printf("measuring kernel profiles and running a %d-day campaign on %d nodes (seed %d, %d workers)%s...\n\n",
+			*days, *nodes, *seed, *workers, label)
 		std := profile.MeasureStandardWorkers(*seed, *workers)
 		cfg := workload.DefaultConfig(*seed)
 		cfg.Days = *days
 		cfg.Nodes = *nodes
+		mix := workload.DefaultMix(std)
+		if sp != nil {
+			var err error
+			if cfg, mix, err = spec.Resolve(sp, std); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Seed = *seed
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "days":
+					cfg.Days = *days
+				case "nodes":
+					cfg.Nodes = *nodes
+				}
+			})
+		}
 		cfg.Workers = *workers
-		if *withFaults {
+		if *withFaults && cfg.Faults == nil {
 			f := faults.Default()
 			cfg.Faults = &f
 		}
-		res = workload.NewCampaign(cfg, workload.DefaultMix(std)).Run()
+		res = workload.NewCampaign(cfg, mix).Run()
+	}
+
+	// Label every table and figure below with the scenario that produced
+	// them, so output from different specs cannot be confused.
+	if line := analysis.RenderScenario(res); line != "" {
+		fmt.Println(line)
 	}
 
 	// A faulted campaign — fresh or loaded from a trace — leads with its

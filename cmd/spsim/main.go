@@ -3,9 +3,16 @@
 // daily system Gflops, utilisation, the >2 Gflops day sample, and the
 // batch-job population.
 //
+// The workload defaults to the paper's 1996 NAS mix; -spec swaps in any
+// declarative workload spec (a committed preset name or a JSON file path,
+// see internal/spec), -list-presets shows the catalogue, and -validate
+// checks specs without running anything (exit 0 clean, 2 malformed — the
+// hpmlint exit-code convention, so CI can gate on it).
+//
 // Usage:
 //
 //	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-faults] [-o db.json.gz]
+//	      [-spec preset-or-file] [-list-presets] [-validate [spec files...]]
 //	      [-csv jobs.csv] [-telemetry text|json] [-profile-cache profiles.json.gz]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
@@ -20,6 +27,7 @@ import (
 	"repro/internal/cliperf"
 	"repro/internal/faults"
 	"repro/internal/profile"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,13 +45,42 @@ func (p dayPrinter) ReduceDay(d workload.Day) {
 
 func (dayPrinter) Finish(workload.Final) {}
 
+// validateSpecs checks the referenced specs without running anything and
+// returns the process exit code: 0 when every spec is clean, 2 when any
+// fails to load, decode or validate. With no explicit reference it
+// sweeps every committed preset — the CI spec-validate gate.
+func validateSpecs(ref string, args []string) int {
+	var refs []string
+	switch {
+	case len(args) > 0:
+		refs = args
+	case ref != "":
+		refs = []string{ref}
+	default:
+		refs = spec.PresetNames()
+	}
+	code := 0
+	for _, r := range refs {
+		if _, err := spec.Load(r); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			code = 2
+			continue
+		}
+		fmt.Printf("%s: ok\n", r)
+	}
+	return code
+}
+
 func main() {
 	days := flag.Int("days", 270, "campaign length in days")
 	nodes := flag.Int("nodes", 144, "cluster size")
 	seed := flag.Uint64("seed", 1, "campaign random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines (1 = serial; results are seed-identical at any setting)")
 	verbose := flag.Bool("v", false, "print per-day detail")
-	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix (crashes, cron misses, daemon restarts) and report coverage")
+	specRef := flag.String("spec", "", "workload spec: a committed preset name (see -list-presets) or a JSON file path")
+	listPresets := flag.Bool("list-presets", false, "list the committed workload-spec presets and exit")
+	validate := flag.Bool("validate", false, "validate workload specs and exit 0 (clean) or 2 (malformed): the -spec reference, file arguments, or — with neither — every committed preset")
+	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix (crashes, cron misses, daemon restarts) and report coverage; a spec's own faults block takes precedence")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
@@ -54,6 +91,31 @@ func main() {
 	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
 		fmt.Fprintf(os.Stderr, "spsim: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
 		os.Exit(2)
+	}
+
+	if *listPresets {
+		for _, name := range spec.PresetNames() {
+			s, err := spec.Preset(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s %s\n", name, s.Description)
+		}
+		return
+	}
+	if *validate {
+		os.Exit(validateSpecs(*specRef, flag.Args()))
+	}
+	// Load (and validate) the spec before paying for kernel measurement:
+	// a typo should fail in milliseconds.
+	var sp *spec.Spec
+	if *specRef != "" {
+		var err error
+		if sp, err = spec.Load(*specRef); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	stopCPU, err := cliperf.StartCPUProfile(*cpuProfile)
@@ -72,22 +134,46 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := workload.DefaultConfig(*seed)
-	cfg.Days = *days
-	cfg.Nodes = *nodes
-	cfg.Workers = *workers
-	if *withFaults {
-		f := faults.Default()
-		cfg.Faults = &f
-	}
-
 	fmt.Printf("measuring kernel profiles...\n")
 	std := profile.MeasureStandardWorkers(*seed, *workers)
 	if err := cliperf.SaveProfileCache(*profCache); err != nil {
 		fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("running %d-day campaign on %d nodes (%d workers)...\n", cfg.Days, cfg.Nodes, *workers)
+
+	cfg := workload.DefaultConfig(*seed)
+	cfg.Days = *days
+	cfg.Nodes = *nodes
+	mix := workload.DefaultMix(std)
+	if sp != nil {
+		var err error
+		if cfg, mix, err = spec.Resolve(sp, std); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Seed = *seed
+		// Explicitly-passed -days/-nodes override the spec's campaign
+		// block; the spec wins when the flag was left at its default.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "days":
+				cfg.Days = *days
+			case "nodes":
+				cfg.Nodes = *nodes
+			}
+		})
+	}
+	cfg.Workers = *workers
+	if *withFaults && cfg.Faults == nil {
+		f := faults.Default()
+		cfg.Faults = &f
+	}
+
+	scenario := ""
+	if cfg.Scenario != "" {
+		scenario = fmt.Sprintf(" [scenario %s]", cfg.Scenario)
+	}
+	fmt.Printf("running %d-day campaign on %d nodes (%d workers)%s...\n", cfg.Days, cfg.Nodes, *workers, scenario)
 	var rr workload.ResultReducer
 	var telRed workload.TelemetryReducer
 	tee := workload.TeeReducer{&rr}
@@ -97,7 +183,7 @@ func main() {
 	if *telFmt != "" {
 		tee = append(tee, &telRed)
 	}
-	workload.NewCampaign(cfg, workload.DefaultMix(std)).RunInto(tee)
+	workload.NewCampaign(cfg, mix).RunInto(tee)
 	res := rr.Result()
 
 	if *out != "" {

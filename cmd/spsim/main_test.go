@@ -1,0 +1,152 @@
+package main
+
+// The spec-facing CLI contract: -list-presets, -validate exit codes
+// (0 clean / 2 malformed, the hpmlint convention) and -spec error
+// handling, exercised end to end against the built binary. Campaign
+// execution itself is covered by the internal/spec round-trip tests;
+// here only the cheap, run-nothing paths are driven, so the suite stays
+// fast.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds spsim once per test run.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "spsim-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "spsim")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building spsim: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// run executes spsim and returns (stdout, stderr, exit code).
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running spsim: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestListPresets(t *testing.T) {
+	stdout, stderr, code := run(t, "-list-presets")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, name := range []string{"paper-1996", "bursty", "memory-bound", "comm-heavy"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list-presets output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestValidateAllPresetsClean(t *testing.T) {
+	stdout, stderr, code := run(t, "-validate")
+	if code != 0 {
+		t.Fatalf("committed presets must validate: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "paper-1996: ok") {
+		t.Errorf("per-spec ok lines missing:\n%s", stdout)
+	}
+}
+
+func TestValidateMalformedSpecExits2(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	// Three problems: version, a missing name, and a share out of range.
+	src := `{
+	  "version": 9,
+	  "name": "",
+	  "campaign": {"days": 10, "nodes": 16, "mean_util": 0.5, "util_sigma": 0.1, "paging_day_prob": 0.1},
+	  "clients": [
+	    {"name": "c", "share": 1.7,
+	     "profile": {"kernel": "cfd", "compute_duty": 0.8, "comm_active": 0.5,
+	                 "perf_sigma": 0.3, "memory_per_node_bytes": 1048576,
+	                 "msg_bytes_per_flop": 0.05, "disk_out_bytes_per_sec": 1000}},
+	    {"name": "r", "remainder": true,
+	     "profile": {"kernel": "cfd", "compute_duty": 0.8, "comm_active": 0.5,
+	                 "perf_sigma": 0.3, "memory_per_node_bytes": 1048576,
+	                 "msg_bytes_per_flop": 0.05, "disk_out_bytes_per_sec": 1000}}
+	  ]
+	}`
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := run(t, "-validate", bad)
+	if code != 2 {
+		t.Fatalf("malformed spec: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	// Field-path error messages must reach the user.
+	for _, want := range []string{"version", "clients[0].share"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing field path %q:\n%s", want, stderr)
+		}
+	}
+
+	// A clean file through the same path exits 0.
+	good := filepath.Join(dir, "good.json")
+	src = strings.Replace(src, `"version": 9`, `"version": 1`, 1)
+	src = strings.Replace(src, `"name": ""`, `"name": "fixed"`, 1)
+	src = strings.Replace(src, `"share": 1.7`, `"share": 0.7`, 1)
+	if err := os.WriteFile(good, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := run(t, "-validate", good); code != 0 {
+		t.Fatalf("clean spec: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+}
+
+func TestValidateUnreadableSpecExits2(t *testing.T) {
+	if _, _, code := run(t, "-validate", "no/such/spec.json"); code != 2 {
+		t.Fatalf("missing spec file: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "-validate", "-spec", "no-such-preset"); code != 2 {
+		t.Fatalf("unknown preset: exit %d, want 2", code)
+	}
+}
+
+func TestSpecFlagUnknownPresetExits2(t *testing.T) {
+	_, stderr, code := run(t, "-spec", "no-such-preset", "-days", "1")
+	if code != 2 {
+		t.Fatalf("unknown -spec: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown preset") {
+		t.Errorf("stderr should name the failure: %s", stderr)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/profile"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -17,18 +18,29 @@ var (
 )
 
 // campaign runs a 45-day campaign once for the whole test package; long
-// enough for every figure to have a populated sample. The reduction is
-// teed into both the batch Result and the streaming collector so the two
-// analysis paths can be cross-checked against the same run.
+// enough for every figure to have a populated sample. The workload comes
+// from the paper-1996 spec preset — bit-identical to the old hard-coded
+// DefaultMix, but the result now carries the scenario label the
+// conformance scorecard prints. The reduction is teed into both the
+// batch Result and the streaming collector so the two analysis paths can
+// be cross-checked against the same run.
 func campaign(t *testing.T) workload.Result {
 	t.Helper()
 	resOnce.Do(func() {
-		cfg := workload.DefaultConfig(11)
-		cfg.Days = 45
+		sp, err := spec.Preset("paper-1996")
+		if err != nil {
+			t.Fatalf("paper-1996 preset: %v", err)
+		}
 		std := profile.MeasureStandard(11)
+		cfg, mix, err := spec.Resolve(sp, std)
+		if err != nil {
+			t.Fatalf("resolving paper-1996: %v", err)
+		}
+		cfg.Seed = 11
+		cfg.Days = 45
 		var rr workload.ResultReducer
 		resStream = NewStream(cfg.Nodes)
-		workload.NewCampaign(cfg, workload.DefaultMix(std)).
+		workload.NewCampaign(cfg, mix).
 			RunInto(workload.TeeReducer{&rr, resStream})
 		res = rr.Result()
 	})

@@ -159,7 +159,11 @@ func TestPaperConformanceBandsSane(t *testing.T) {
 // doubles as the reproduction's summary table.
 func TestPaperConformanceReport(t *testing.T) {
 	pb := loadPaperBands(t)
-	got := conformanceMetrics(t, campaign(t))
+	res := campaign(t)
+	got := conformanceMetrics(t, res)
+	if line := RenderScenario(res); line != "" {
+		t.Log(line)
+	}
 	for _, b := range pb.Bands {
 		v, ok := got[b.Metric]
 		if !ok {

@@ -1,0 +1,19 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// RenderScenario formats the one-line scenario label for a result
+// resolved from a workload spec (internal/spec): the name the campaign's
+// tables and figures should be read under. A campaign run on the
+// built-in default mix — or loaded from a serialized trace, which by
+// design does not carry the label — renders nothing.
+func RenderScenario(res workload.Result) string {
+	if res.Config.Scenario == "" {
+		return ""
+	}
+	return fmt.Sprintf("=== scenario: %s ===", res.Config.Scenario)
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRenderScenario(t *testing.T) {
+	var res workload.Result
+	if got := RenderScenario(res); got != "" {
+		t.Errorf("unlabelled result rendered %q, want nothing", got)
+	}
+	res.Config.Scenario = "bursty"
+	if got := RenderScenario(res); got != "=== scenario: bursty ===" {
+		t.Errorf("RenderScenario = %q", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/power2"
 	"repro/internal/profile"
+	"repro/internal/spec"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -47,10 +48,14 @@ type System struct {
 	cfg Config
 	std profile.Standard
 	mix workload.Mix
+	// base is the spec-resolved campaign configuration when the system was
+	// built with NewWithSpec; nil means the paper's DefaultConfig.
+	base *workload.Config
 }
 
 // New measures the standard kernel profiles (a few hundred thousand
-// simulated instructions each) and returns a ready System.
+// simulated instructions each) and returns a ready System running the
+// built-in paper-1996 workload.
 func New(cfg Config) *System {
 	if cfg.Days == 0 {
 		cfg.Days = 270
@@ -65,12 +70,38 @@ func New(cfg Config) *System {
 	return &System{cfg: cfg, std: std, mix: workload.DefaultMix(std)}
 }
 
+// NewWithSpec measures the standard kernel profiles and resolves the
+// given workload spec against them: the declarative path into the same
+// facade. Zero Config fields inherit the spec's campaign block rather
+// than the paper's constants; Seed and Workers are always the caller's.
+func NewWithSpec(cfg Config, sp *spec.Spec) (*System, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	std := profile.MeasureStandardWorkers(cfg.Seed, cfg.Workers)
+	wc, mix, err := spec.Resolve(sp, std)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Days == 0 {
+		cfg.Days = wc.Days
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = wc.Nodes
+	}
+	return &System{cfg: cfg, std: std, mix: mix, base: &wc}, nil
+}
+
 // Profiles exposes the measured kernel signatures.
 func (s *System) Profiles() profile.Standard { return s.std }
 
 // CampaignConfig returns the workload configuration the system will run.
 func (s *System) CampaignConfig() workload.Config {
 	wc := workload.DefaultConfig(s.cfg.Seed)
+	if s.base != nil {
+		wc = *s.base
+		wc.Seed = s.cfg.Seed
+	}
 	wc.Days = s.cfg.Days
 	wc.Nodes = s.cfg.Nodes
 	wc.Workers = s.cfg.Workers

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hpm"
 	"repro/internal/rs2hpm"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,43 @@ func TestDefaultsFillIn(t *testing.T) {
 	}
 	if wc.Nodes != 144 {
 		t.Fatalf("nodes = %d, want the SP2's 144", wc.Nodes)
+	}
+}
+
+// TestNewWithSpec drives the declarative path through the facade: a
+// committed preset, config overrides on top of the spec's campaign
+// block, and a short end-to-end run.
+func TestNewWithSpec(t *testing.T) {
+	sp, err := spec.Preset("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithSpec(Config{Days: 2, Seed: 3}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := s.CampaignConfig()
+	if wc.Days != 2 {
+		t.Fatalf("days = %d, want the override 2", wc.Days)
+	}
+	if wc.Nodes != 144 {
+		t.Fatalf("nodes = %d, want the spec's 144", wc.Nodes)
+	}
+	if wc.Scenario != "bursty" {
+		t.Fatalf("scenario = %q, want bursty", wc.Scenario)
+	}
+	if wc.Faults == nil {
+		t.Fatal("bursty preset declares a faults block; it must survive resolution")
+	}
+	if testing.Short() {
+		return
+	}
+	res := s.RunCampaign()
+	if len(res.Days) != 2 {
+		t.Fatalf("days = %d", len(res.Days))
+	}
+	if res.Coverage == nil {
+		t.Fatal("faulted campaign must report coverage")
 	}
 }
 

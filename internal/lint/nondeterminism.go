@@ -32,6 +32,10 @@ var simulatorPackages = map[string]bool{
 	// suppression, and everything else must stay off the clock so that
 	// enabling observation cannot perturb a seeded campaign.
 	"telemetry": true,
+	// spec resolves declarative workload scenarios into campaign inputs;
+	// resolution must be a pure function of (spec, profiles) so a named
+	// scenario means the same campaign on every machine and every run.
+	"spec": true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

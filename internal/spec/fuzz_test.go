@@ -1,0 +1,68 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecDecode throws arbitrary bytes at the strict decoder and holds
+// the pipeline's invariants on whatever gets through:
+//
+//   - Decode never panics; it either returns a spec or an error;
+//   - Validate never panics and classifies every failure as a
+//     *ValidationError (field-path errors, not raw strings);
+//   - a spec that validates must resolve without error — validation is
+//     supposed to be the complete gate for the resolver's references;
+//   - a decoded spec survives an encode/decode round-trip bit-for-bit,
+//     so canonicalizing a preset on disk never changes its meaning.
+//
+// The committed corpus under testdata/fuzz/FuzzSpecDecode seeds the
+// interesting shapes; `make fuzz-smoke` gives it a short adversarial
+// run on every CI build.
+func FuzzSpecDecode(f *testing.F) {
+	for _, name := range PresetNames() {
+		data, err := presetFS.ReadFile("presets/" + name + ".json")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": 1`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1, 2, 3]`))
+
+	std := syntheticStandard()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeBytes(data)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		if err := s.Validate(); err != nil {
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("Validate returned %T (%v), want *ValidationError", err, err)
+			}
+			if len(ve.Errors) == 0 {
+				t.Fatal("ValidationError with no field errors")
+			}
+			return
+		}
+		if _, _, err := Resolve(s, std); err != nil {
+			t.Fatalf("validated spec failed to resolve: %v", err)
+		}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encode of decoded spec failed: %v", err)
+		}
+		back, err := DecodeBytes(buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %s", err, buf)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("spec does not survive encode/decode round-trip:\n in  %+v\n out %+v", s, back)
+		}
+	})
+}

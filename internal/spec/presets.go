@@ -1,0 +1,59 @@
+package spec
+
+// Committed presets: the named scenarios shipped with the tree, embedded
+// at build time so `spsim -spec bursty` works from any directory with no
+// data files installed. paper-1996 is the calibration anchor — it must
+// resolve to exactly the built-in DefaultMix/DefaultConfig and therefore
+// reproduce the golden campaign hash bit-for-bit (resolve_test.go and
+// presets_test.go pin both); the others are the scenario axes the paper
+// could not explore on the production machine.
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed presets/*.json
+var presetFS embed.FS
+
+// PresetNames returns the committed preset names, sorted.
+func PresetNames() []string {
+	entries, err := presetFS.ReadDir("presets")
+	if err != nil {
+		panic("spec: embedded presets unreadable: " + err.Error())
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset loads and validates the named committed preset.
+func Preset(name string) (*Spec, error) {
+	data, err := presetFS.ReadFile("presets/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("spec: unknown preset %q (have: %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	s, err := DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("preset %s: %w", name, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("preset %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// Load resolves a spec reference: a bare name loads the committed preset
+// of that name, anything containing a path separator or extension is
+// read as a file. This is the lookup behind `spsim -spec <ref>`.
+func Load(ref string) (*Spec, error) {
+	if strings.ContainsAny(ref, "./\\") {
+		return LoadFile(ref)
+	}
+	return Preset(ref)
+}

@@ -1,0 +1,144 @@
+package spec
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// resultHash mirrors the workload package's determinism hash: fnv64a over
+// the JSON encoding of the full Result, floats at shortest
+// round-trippable precision — equal iff bit-identical.
+func resultHash(t *testing.T, r workload.Result) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	if err := json.NewEncoder(h).Encode(r); err != nil {
+		t.Fatalf("hash result: %v", err)
+	}
+	return h.Sum64()
+}
+
+// goldenCampaignHash duplicates the constant pinned in
+// internal/workload/golden_test.go: the seed-7, 2-day default campaign
+// on the pre-optimization simulator. The paper-1996 preset must hit it
+// through the whole spec pipeline — load, validate, resolve, run.
+const goldenCampaignHash uint64 = 0x88ee6c33b8c0bd5c
+
+// TestPresetsRoundTrip runs every committed preset end-to-end: load,
+// validate, resolve against real measured profiles, then a 1-day
+// campaign at workers 1 and 8 — which must hash identically. This is the
+// worker-count-invariance guarantee extended to every scenario axis the
+// spec layer adds (bursty arrivals, lifecycle warps, kernel mixes,
+// embedded faults).
+func TestPresetsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset round-trips run real campaigns")
+	}
+	store := profile.NewStore()
+	for _, name := range PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name != name {
+				t.Errorf("preset file %s.json declares name %q; file and name must agree", name, s.Name)
+			}
+
+			// Marshal/decode round-trip: the committed form must survive
+			// re-encoding, or editing a preset would silently change it.
+			var buf []byte
+			if buf, err = json.Marshal(s); err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeBytes(buf)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Errorf("preset %s does not survive an encode/decode round-trip", name)
+			}
+
+			std := profile.MeasureStandardStore(store, 7, 8)
+			cfg, mix, err := Resolve(s, std)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Days = 1 // a day is enough to exercise every draw path
+			cfg.Seed = 7
+
+			var hashes [2]uint64
+			for i, workers := range []int{1, 8} {
+				c := cfg
+				c.Workers = workers
+				res := workload.NewCampaign(c, mix).Run()
+				if len(res.Days) != 1 {
+					t.Fatalf("workers=%d: got %d days, want 1", workers, len(res.Days))
+				}
+				if res.Days[0].Gflops() <= 0 {
+					t.Fatalf("workers=%d: campaign advanced no floating-point counters", workers)
+				}
+				hashes[i] = resultHash(t, res)
+			}
+			if hashes[0] != hashes[1] {
+				t.Errorf("preset %s: workers=1 hash %#x != workers=8 hash %#x", name, hashes[0], hashes[1])
+			}
+		})
+	}
+}
+
+// TestPaper1996GoldenHash runs the golden recipe through the spec
+// pipeline: seed-7 profiles, the paper-1996 preset, 2 days. The hash
+// must equal the constant captured before the spec layer existed — the
+// refactor's proof that lifting the mix into data changed nothing.
+func TestPaper1996GoldenHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaign is a full 2-day simulation")
+	}
+	s, err := Preset("paper-1996")
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := profile.MeasureStandardStore(profile.NewStore(), 7, 8)
+	cfg, mix, err := Resolve(s, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 7
+	cfg.Days = 2
+	cfg.Workers = 8
+	res := workload.NewCampaign(cfg, mix).Run()
+	if h := resultHash(t, res); h != goldenCampaignHash {
+		t.Fatalf("spec-resolved paper-1996 campaign hash %#x, want golden %#x — the spec pipeline changed observable behaviour", h, goldenCampaignHash)
+	}
+}
+
+// TestPresetNames pins the committed catalogue: CLI docs, README and CI
+// all reference these four names.
+func TestPresetNames(t *testing.T) {
+	want := []string{"bursty", "comm-heavy", "memory-bound", "paper-1996"}
+	if got := PresetNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("PresetNames() = %v, want %v", got, want)
+	}
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Error("Preset on an unknown name must fail")
+	}
+}
+
+// TestLoadDispatch checks the name-vs-path dispatch behind -spec.
+func TestLoadDispatch(t *testing.T) {
+	if _, err := Load("bursty"); err != nil {
+		t.Errorf("Load(bursty) should hit the preset: %v", err)
+	}
+	if _, err := Load("presets/bursty.json"); err != nil {
+		t.Errorf("Load of a relative path should read the file: %v", err)
+	}
+	if _, err := Load("no/such/file.json"); err == nil {
+		t.Error("Load of a missing path must fail")
+	}
+}

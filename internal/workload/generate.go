@@ -59,66 +59,99 @@ type Generator interface {
 	GenerateDay(day int) DayPlan
 }
 
-// mixGenerator is the calibrated Figure 1/2 demand model: daily
-// utilisation draws, the node-count marginal, and the class mix.
+// mixGenerator is the demand model compiled from a Mix: daily utilisation
+// draws, the node-count marginal, the client-share walk, the large-job
+// policy, and the per-client arrival shaping. Every scenario knob is data
+// in the Mix; the generator only fixes the order draws are consumed in,
+// which is what makes a scenario's plans reproducible.
 type mixGenerator struct {
 	cfg Config
 	mix Mix
 
-	// Node-count demand distribution (Figure 2's marginal): counts and
-	// weights chosen so 16-, 32- and 8-node jobs dominate wall time and
-	// >64-node jobs are rare.
-	nodeCounts  []int
-	nodeWeights *rng.Weighted
+	// sizes is the compiled campaign-wide node-count sampler;
+	// clientSizes[i] is client i's compiled override, nil for none.
+	sizes       *rng.Weighted
+	clientSizes []*rng.Weighted
+	// remainder indexes the client absorbing the unassigned share.
+	remainder int
 }
 
 // NewGenerator builds the standard demand generator for a campaign
-// configuration and class mix.
+// configuration and class mix. It panics on a structurally invalid mix
+// (no clients, no remainder, unusable weight table): DefaultMix is valid
+// by construction and spec-resolved mixes are validated with field-level
+// errors long before they reach here.
 //
 //hpmlint:pure the generator must be constructible identically on every worker
 func NewGenerator(cfg Config, mix Mix) Generator {
-	return &mixGenerator{
-		cfg:        cfg,
-		mix:        mix,
-		nodeCounts: []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 80, 96, 128},
-		nodeWeights: rng.NewWeighted([]float64{
-			3, 3, 6, 15, 32, 5, 4, 19, 6, 7, 0.9, 0.6, 0.4,
-		}),
+	if len(mix.Clients) == 0 {
+		panic("workload: mix has no clients")
 	}
-}
-
-// classFor assigns a workload class given the node count and day
-// character, consuming draws from the day's generation stream.
-func (g *mixGenerator) classFor(rnd *rng.Source, nodes int, pagingDay bool) Class {
-	if nodes > 64 {
-		// The paper: >64-node jobs were paging (memory oversubscription),
-		// not floating-point intensive, or using synchronous comm.
-		switch {
-		case rnd.Bool(0.75):
-			return g.mix.Paging
-		case rnd.Bool(0.6):
-			return g.mix.NonFP
-		default:
-			return g.mix.Production
+	g := &mixGenerator{
+		cfg:         cfg,
+		mix:         mix,
+		sizes:       mix.JobSize.sampler(),
+		clientSizes: make([]*rng.Weighted, len(mix.Clients)),
+		remainder:   -1,
+	}
+	for i := range mix.Clients {
+		if mix.Clients[i].Remainder {
+			if g.remainder >= 0 {
+				panic("workload: mix has more than one remainder client")
+			}
+			g.remainder = i
+		}
+		if js := mix.Clients[i].JobSize; js != nil {
+			g.clientSizes[i] = js.sampler()
 		}
 	}
-	pagingShare := 0.04
-	if pagingDay {
-		pagingShare = 0.35
+	if g.remainder < 0 {
+		panic("workload: mix has no remainder client")
+	}
+	lj := mix.LargeJobs
+	if lj.ThresholdNodes > 0 {
+		if lj.Fallback < 0 || lj.Fallback >= len(mix.Clients) {
+			panic("workload: large-job fallback out of range")
+		}
+		for _, ov := range lj.Overrides {
+			if ov.Client < 0 || ov.Client >= len(mix.Clients) {
+				panic("workload: large-job override out of range")
+			}
+		}
+	}
+	return g
+}
+
+// classFor assigns a workload client given the node count and day
+// character, consuming draws from the day's generation stream: one Bool
+// per large-job override until one fires, or a single uniform draw walked
+// down the cumulative client shares.
+func (g *mixGenerator) classFor(rnd *rng.Source, nodes int, pagingDay bool, day int) int {
+	if lj := g.mix.LargeJobs; lj.ThresholdNodes > 0 && nodes > lj.ThresholdNodes {
+		for _, ov := range lj.Overrides {
+			if rnd.Bool(ov.Prob) {
+				return ov.Client
+			}
+		}
+		return lj.Fallback
 	}
 	x := rnd.Float64()
-	switch {
-	case x < pagingShare:
-		return g.mix.Paging
-	case x < pagingShare+0.13:
-		return g.mix.Debug
-	case x < pagingShare+0.13+0.06:
-		return g.mix.Tuned
-	case x < pagingShare+0.13+0.06+0.04:
-		return g.mix.Bench
-	default:
-		return g.mix.Production
+	cum := 0.0
+	for i := range g.mix.Clients {
+		cl := &g.mix.Clients[i]
+		if cl.Remainder {
+			continue
+		}
+		share := cl.Share
+		if pagingDay {
+			share = cl.PagingDayShare
+		}
+		cum += share * cl.Lifecycle.shareFactor(day)
+		if x < cum {
+			return i
+		}
 	}
+	return g.remainder
 }
 
 // GenerateDay produces the day's job arrivals: total node-seconds of
@@ -135,43 +168,46 @@ func (g *mixGenerator) GenerateDay(day int) DayPlan {
 	// of the load-demand fluctuation Figure 1 attributes the variability
 	// to. (The campaign starts on a Monday.)
 	if dow := day % 7; dow == 5 || dow == 6 {
-		util *= 0.62
+		util *= g.mix.WeekendFactor
 	}
 	pagingDay := rnd.Bool(g.cfg.PagingDayProb)
-	// Day quality: how well-tuned the day's job population is. Most days
-	// sit below 1 (development machine), a few are benchmark-grade.
-	quality := rnd.LogNormal(-0.22, 0.30)
-	if quality < 0.35 {
-		quality = 0.35
-	}
-	if quality > 1.35 {
-		quality = 1.35
-	}
+	// Day quality: how well-tuned the day's job population is. For the
+	// paper mix most days sit below 1 (development machine), a few are
+	// benchmark-grade.
+	quality := g.mix.Quality.Sample(rnd)
 
 	plan := DayPlan{Day: day, Util: util, PagingDay: pagingDay, Quality: quality}
 	demand := util * float64(g.cfg.Nodes) * 86400
 	dayStart := simclock.Days(float64(day))
 	for demand > 0 {
-		nodes := g.nodeCounts[g.nodeWeights.Sample(rnd)]
-		wall := rnd.LogNormal(9.2, 0.85) // median ~10^4/e^0.8... ~9900 s
-		if wall < 700 {
-			wall = 700
+		// Draw order is part of the determinism contract: the campaign-wide
+		// size and runtime draws come first so class assignment can depend
+		// on the node count (the large-job policy); a client's overrides
+		// then re-draw after assignment, consuming extra draws only in
+		// scenarios that declare them — which is what keeps the paper
+		// preset's stream bit-identical to the original hard-coded mix.
+		nodes := g.mix.JobSize.Counts[g.sizes.Sample(rnd)]
+		wall := g.mix.Runtime.Sample(rnd)
+		ci := g.classFor(rnd, nodes, pagingDay, day)
+		cl := &g.mix.Clients[ci]
+		if w := g.clientSizes[ci]; w != nil {
+			nodes = cl.JobSize.Counts[w.Sample(rnd)]
 		}
-		if wall > 86400 {
-			wall = 86400
+		if cl.Runtime != nil {
+			wall = cl.Runtime.Sample(rnd)
 		}
-		class := g.classFor(rnd, nodes, pagingDay)
-		at := dayStart + simclock.Time(rnd.Float64()*86400)
+		frac := cl.Lifecycle.warp(cl.Arrival.sample(rnd))
+		at := dayStart + simclock.Time(frac*86400)
 		uid := uint64(day)<<jobUIDShift | uint64(len(plan.Jobs))
 		plan.Jobs = append(plan.Jobs, JobSpec{
 			UID: uid,
 			At:  at,
 			Spec: pbs.Spec{
-				User:               fmt.Sprintf("u%02d", rnd.Intn(40)),
+				User:               fmt.Sprintf("u%02d", rnd.Intn(g.mix.Users)),
 				Nodes:              nodes,
 				WallSeconds:        wall,
-				Class:              class.Name,
-				MemoryPerNodeBytes: class.MemoryPerNode,
+				Class:              cl.Class.Name,
+				MemoryPerNodeBytes: cl.Class.MemoryPerNode,
 				PerfFactor:         quality,
 				StreamID:           uid,
 			},

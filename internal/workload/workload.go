@@ -88,86 +88,181 @@ func (c Class) jobProfile(jitter float64) profile.Profile {
 	return p
 }
 
-// Mix is the full class registry plus node-count and class-assignment
-// distributions.
+// Mix is the full scenario registry: the named client population with its
+// shares and arrival shaping, the large-job policy, and the campaign-wide
+// size/runtime/quality distributions. It is pure data — the generator
+// compiles it once and every draw it implies comes from the caller's
+// substream — so a Mix can come from DefaultMix (the paper's 1996
+// population) or be resolved from a declarative workload spec
+// (internal/spec) without touching generator code. A Mix is not part of
+// the serialized Result: the campaign database records the resolved
+// numbers, not the scenario that produced them.
 type Mix struct {
-	Production Class // moderately tuned multi-block CFD: the bulk
-	Tuned      Class // well-tuned codes (Cui & Street class)
-	Debug      Class // development runs: slow, short
-	Bench      Class // NPB-style benchmark runs
-	Paging     Class // memory-oversubscribed codes
-	NonFP      Class // non-floating-point large jobs
+	// Clients are walked in order for class assignment; exactly one must
+	// be the remainder.
+	Clients []Client
+	// LargeJobs reroutes jobs above the node-count threshold.
+	LargeJobs LargeJobPolicy
+	// JobSize is the campaign-wide node-count distribution (Figure 2's
+	// marginal for the paper mix); clients may override it.
+	JobSize SizeDist
+	// Runtime is the campaign-wide wall-time distribution.
+	Runtime Dist
+	// Quality is the day-level tuning-quality multiplier distribution.
+	Quality Dist
+	// WeekendFactor multiplies submission demand on days 5 and 6 of each
+	// week (the campaign starts on a Monday); 1 means no dip.
+	WeekendFactor float64
+	// Users is the synthetic submitting-user population size.
+	Users int
 }
 
-// DefaultMix builds the calibrated class mix from measured kernel profiles.
+// ClientNamed returns the client with the given class name, or nil.
+func (m *Mix) ClientNamed(name string) *Client {
+	for i := range m.Clients {
+		if m.Clients[i].Class.Name == name {
+			return &m.Clients[i]
+		}
+	}
+	return nil
+}
+
+// classByName returns the class with the given name; it panics on an
+// unknown name, which can only mean a Mix was swapped mid-campaign.
+func (m *Mix) classByName(name string) Class {
+	if cl := m.ClientNamed(name); cl != nil {
+		return cl.Class
+	}
+	panic("workload: unknown class " + name)
+}
+
+// PaperJobSize returns the paper's node-count demand distribution
+// (Figure 2's marginal): counts and weights chosen so 16-, 32- and 8-node
+// jobs dominate wall time and >64-node jobs are rare.
+func PaperJobSize() SizeDist {
+	return SizeDist{
+		Counts:  []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 80, 96, 128},
+		Weights: []float64{3, 3, 6, 15, 32, 5, 4, 19, 6, 7, 0.9, 0.6, 0.4},
+	}
+}
+
+// PaperRuntime returns the paper's wall-time distribution: lognormal with
+// a ~9900 s median, clamped to [700 s, one day].
+func PaperRuntime() Dist {
+	return Dist{Kind: DistLogNormal, A: 9.2, B: 0.85, Min: 700, Max: 86400}
+}
+
+// PaperQuality returns the paper's day-quality distribution: most days
+// sit below 1 (a development machine), a few are benchmark-grade.
+func PaperQuality() Dist {
+	return Dist{Kind: DistLogNormal, A: -0.22, B: 0.30, Min: 0.35, Max: 1.35}
+}
+
+// PaperWeekendFactor is the weekend submission dip of the 1996 demand
+// model — part of the load variability Figure 1 records.
+const PaperWeekendFactor = 0.62
+
+// PaperUsers is the synthetic submitting-user population of the 1996 mix.
+const PaperUsers = 40
+
+// DefaultMix builds the calibrated 1996 NAS class mix from measured
+// kernel profiles. Clients are ordered as the class-assignment walk
+// consumed its thresholds in the original hard-coded generator — paging,
+// debug, tuned, bench, then production absorbing the remainder — so the
+// substream draw sequence, and therefore every campaign hash, is
+// unchanged. The spec preset presets/paper-1996.json must resolve to
+// exactly this value (internal/spec pins that with a DeepEqual test).
 func DefaultMix(std profile.Standard) Mix {
+	production := Class{
+		Name:               "production-cfd",
+		Crunch:             std.CFD,
+		ComputeDuty:        0.80,
+		CommActive:         0.45,
+		Comm:               std.Comm,
+		PerfSigma:          0.45,
+		MemoryPerNode:      48 << 20,
+		MsgBytesPerFlop:    0.06,
+		DiskOutBytesPerSec: 300e3,
+	}
+	tuned := Class{
+		Name:               "tuned-cfd",
+		Crunch:             std.BT, // high-ILP, cache-blocked codes
+		ComputeDuty:        0.50,
+		CommActive:         0.5,
+		Comm:               std.Comm,
+		PerfSigma:          0.25,
+		MemoryPerNode:      24 << 20,
+		MsgBytesPerFlop:    0.03,
+		DiskOutBytesPerSec: 200e3,
+	}
+	debug := Class{
+		Name:               "debug",
+		Crunch:             std.CFD.Scale(0.45),
+		ComputeDuty:        0.55,
+		CommActive:         0.5,
+		Comm:               std.Comm,
+		PerfSigma:          0.6,
+		MemoryPerNode:      16 << 20,
+		MsgBytesPerFlop:    0.08,
+		DiskOutBytesPerSec: 100e3,
+	}
+	bench := Class{
+		Name:               "npb-bench",
+		Crunch:             std.BT,
+		ComputeDuty:        0.55,
+		CommActive:         0.5,
+		Comm:               std.Comm,
+		PerfSigma:          0.15,
+		MemoryPerNode:      24 << 20,
+		MsgBytesPerFlop:    0.03,
+		DiskOutBytesPerSec: 100e3,
+	}
+	paging := Class{
+		Name:               "paging",
+		Crunch:             std.Paging,
+		ComputeDuty:        0.9,  // "compute" here is mostly fault service
+		CommActive:         0.12, // thrashing jobs barely reach their comm phases
+		Comm:               std.Comm,
+		PerfSigma:          0.5,
+		MemoryPerNode:      256 << 20, // 2x node memory
+		MsgBytesPerFlop:    0.02,
+		DiskOutBytesPerSec: 100e3,
+	}
+	nonFP := Class{
+		Name:               "non-fp",
+		Crunch:             std.Comm, // integer/copy-bound work
+		ComputeDuty:        0.7,
+		CommActive:         0.5,
+		Comm:               std.Comm,
+		PerfSigma:          0.4,
+		MemoryPerNode:      32 << 20,
+		MsgBytesPerFlop:    0.0,
+		DiskOutBytesPerSec: 400e3,
+	}
 	return Mix{
-		Production: Class{
-			Name:               "production-cfd",
-			Crunch:             std.CFD,
-			ComputeDuty:        0.80,
-			CommActive:         0.45,
-			Comm:               std.Comm,
-			PerfSigma:          0.45,
-			MemoryPerNode:      48 << 20,
-			MsgBytesPerFlop:    0.06,
-			DiskOutBytesPerSec: 300e3,
+		Clients: []Client{
+			{Class: paging, Share: 0.04, PagingDayShare: 0.35},
+			{Class: debug, Share: 0.13, PagingDayShare: 0.13},
+			{Class: tuned, Share: 0.06, PagingDayShare: 0.06},
+			{Class: bench, Share: 0.04, PagingDayShare: 0.04},
+			{Class: production, Remainder: true}, // moderately tuned multi-block CFD: the bulk
+			{Class: nonFP},                       // reached only through the large-job policy
 		},
-		Tuned: Class{
-			Name:               "tuned-cfd",
-			Crunch:             std.BT, // high-ILP, cache-blocked codes
-			ComputeDuty:        0.50,
-			CommActive:         0.5,
-			Comm:               std.Comm,
-			PerfSigma:          0.25,
-			MemoryPerNode:      24 << 20,
-			MsgBytesPerFlop:    0.03,
-			DiskOutBytesPerSec: 200e3,
+		// The paper: >64-node jobs were paging (memory oversubscription),
+		// not floating-point intensive, or using synchronous comm.
+		LargeJobs: LargeJobPolicy{
+			ThresholdNodes: 64,
+			Overrides: []LargeJobOverride{
+				{Client: 0, Prob: 0.75}, // paging
+				{Client: 5, Prob: 0.6},  // non-fp
+			},
+			Fallback: 4, // production
 		},
-		Debug: Class{
-			Name:               "debug",
-			Crunch:             std.CFD.Scale(0.45),
-			ComputeDuty:        0.55,
-			CommActive:         0.5,
-			Comm:               std.Comm,
-			PerfSigma:          0.6,
-			MemoryPerNode:      16 << 20,
-			MsgBytesPerFlop:    0.08,
-			DiskOutBytesPerSec: 100e3,
-		},
-		Bench: Class{
-			Name:               "npb-bench",
-			Crunch:             std.BT,
-			ComputeDuty:        0.55,
-			CommActive:         0.5,
-			Comm:               std.Comm,
-			PerfSigma:          0.15,
-			MemoryPerNode:      24 << 20,
-			MsgBytesPerFlop:    0.03,
-			DiskOutBytesPerSec: 100e3,
-		},
-		Paging: Class{
-			Name:               "paging",
-			Crunch:             std.Paging,
-			ComputeDuty:        0.9,  // "compute" here is mostly fault service
-			CommActive:         0.12, // thrashing jobs barely reach their comm phases
-			Comm:               std.Comm,
-			PerfSigma:          0.5,
-			MemoryPerNode:      256 << 20, // 2x node memory
-			MsgBytesPerFlop:    0.02,
-			DiskOutBytesPerSec: 100e3,
-		},
-		NonFP: Class{
-			Name:               "non-fp",
-			Crunch:             std.Comm, // integer/copy-bound work
-			ComputeDuty:        0.7,
-			CommActive:         0.5,
-			Comm:               std.Comm,
-			PerfSigma:          0.4,
-			MemoryPerNode:      32 << 20,
-			MsgBytesPerFlop:    0.0,
-			DiskOutBytesPerSec: 400e3,
-		},
+		JobSize:       PaperJobSize(),
+		Runtime:       PaperRuntime(),
+		Quality:       PaperQuality(),
+		WeekendFactor: PaperWeekendFactor,
+		Users:         PaperUsers,
 	}
 }
 
@@ -182,6 +277,12 @@ type Config struct {
 	// clock only — so it is an execution knob, not part of the result:
 	// it is excluded from the serialized campaign database.
 	Workers int `json:"-"`
+	// Scenario names the workload spec this configuration was resolved
+	// from (internal/spec); empty for the built-in paper mix. Like
+	// Workers it is metadata, not model input: the serialized campaign
+	// database records the resolved numbers, not the label, so renaming
+	// a spec can never change a result hash.
+	Scenario string `json:"-"`
 	// SamplePeriodSeconds is the counter sampling cadence (900 = 15 min).
 	SamplePeriodSeconds float64
 	// MeanUtil / UtilSigma shape the daily demand distribution.
@@ -339,7 +440,7 @@ func (c *Campaign) Clock() *simclock.Clock { return c.clock }
 // substream, derived from (seed, StreamID): a job's counter contribution
 // is a pure function of its identity and lifetime.
 func (c *Campaign) onStart(j *pbs.Job) {
-	class := c.classByName(j.Spec.Class)
+	class := c.mix.classByName(j.Spec.Class)
 	src := rng.Stream(c.cfg.Seed, jobStreamBase+j.Spec.StreamID)
 	// Mean-one lognormal jitter (mu = -sigma^2/2).
 	sigma := class.PerfSigma
@@ -360,15 +461,6 @@ func (c *Campaign) onStart(j *pbs.Job) {
 		rnd:     src,
 	}
 	c.runs = nil
-}
-
-func (c *Campaign) classByName(name string) Class {
-	for _, cl := range []Class{c.mix.Production, c.mix.Tuned, c.mix.Debug, c.mix.Bench, c.mix.Paging, c.mix.NonFP} {
-		if cl.Name == name {
-			return cl
-		}
-	}
-	panic("workload: unknown class " + name)
 }
 
 // onEnd flushes the job's remaining counter extrapolation before the PBS

@@ -272,9 +272,10 @@ func TestRecordFilterDropsShortJobs(t *testing.T) {
 
 func TestJobProfileComposition(t *testing.T) {
 	mix := DefaultMix(std(t))
-	p := mix.Production.jobProfile(1.0)
+	production := mix.ClientNamed("production-cfd").Class
+	p := production.jobProfile(1.0)
 	// Duty-cycled: the in-job Mflops must be ComputeDuty x crunch.
-	want := mix.Production.Crunch.Mflops * mix.Production.ComputeDuty
+	want := production.Crunch.Mflops * production.ComputeDuty
 	if math.Abs(p.Mflops-want) > 1e-9 {
 		t.Fatalf("in-job Mflops = %v, want %v", p.Mflops, want)
 	}
@@ -285,7 +286,7 @@ func TestJobProfileComposition(t *testing.T) {
 		t.Fatalf("DMA composition wrong: %v/%v", rd, wr)
 	}
 	// Comm overlay adds FXU work beyond the duty-scaled crunch.
-	fxuCrunch := mix.Production.Crunch.EventsPerSec[hpm.User][hpm.EvFXU0Instr] * mix.Production.ComputeDuty
+	fxuCrunch := production.Crunch.EventsPerSec[hpm.User][hpm.EvFXU0Instr] * production.ComputeDuty
 	if p.EventsPerSec[hpm.User][hpm.EvFXU0Instr] <= fxuCrunch {
 		t.Fatal("comm overlay missing from FXU rate")
 	}
@@ -321,7 +322,7 @@ func TestClassForLargeJobsAvoidsStandardMix(t *testing.T) {
 	rnd := rng.New(3)
 	counts := map[string]int{}
 	for i := 0; i < 1000; i++ {
-		counts[g.classFor(rnd, 96, false).Name]++
+		counts[g.mix.Clients[g.classFor(rnd, 96, false, 0)].Class.Name]++
 	}
 	if counts["paging"] < 400 {
 		t.Errorf("paging share for >64-node jobs = %d/1000, want majority", counts["paging"])
