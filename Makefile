@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke fuzz-smoke property ci
+.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke bench-gate fleet-smoke fuzz-smoke property ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,27 @@ benchdiff:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'CPUSimulation|CampaignDay' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json
 
+# Regression gate: re-run the hot-path benchmarks and enforce the
+# committed tolerances/ratios in BENCH_gates.json against the committed
+# baseline. Unlike benchdiff this is pass/fail — a CampaignDay, fleet or
+# telemetry-overhead regression beyond the (deliberately generous,
+# single-iteration-noise-tolerant) bounds fails `make ci`. Only the
+# campaign-scale benches are gated: their single pass does real work
+# (tens of ms), so the timing is signal; micro benches at -benchtime 1x
+# measure setup noise and stay diff-only.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'CampaignDay|FleetCampaign|MeasureStandardCold' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json -gate BENCH_gates.json
+
+# Operational smoke of the fleet engine through the real CLI: run a
+# 2-cluster fleet sharded 2 ways, force a halt after the first cluster
+# completes (writing the checkpoint), then resume from it to completion.
+FLEET_SMOKE_CP := $(if $(TMPDIR),$(TMPDIR),/tmp)/hpm-fleet-smoke.json.gz
+fleet-smoke:
+	rm -f $(FLEET_SMOKE_CP)
+	$(GO) run ./cmd/spsim -days 2 -clusters 2 -shards 2 -checkpoint $(FLEET_SMOKE_CP) -halt-after 1
+	$(GO) run ./cmd/spsim -days 2 -clusters 2 -shards 2 -checkpoint $(FLEET_SMOKE_CP) -resume
+	rm -f $(FLEET_SMOKE_CP)
+
 # Short fuzzing pass over every fuzz target (committed corpora plus
 # FUZZTIME of fresh exploration per target). go test allows one -fuzz
 # pattern per invocation, so each target gets its own run.
@@ -61,9 +82,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzMetricsEncode$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzBaselineDecode$$' -fuzztime $(FUZZTIME) ./internal/lint/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecDecode$$' -fuzztime $(FUZZTIME) ./internal/spec/
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
 # Every property test in the tree, under the race detector.
 property:
 	$(GO) test -run Property -race ./...
 
-ci: build vet test race lint lint-fixtures spec-validate
+ci: build vet test race lint lint-fixtures spec-validate fleet-smoke bench-gate

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
+	"repro/internal/fleet"
 	"repro/internal/hpm"
 	"repro/internal/kernels"
 	"repro/internal/node"
@@ -344,6 +345,32 @@ func BenchmarkCampaignDay(b *testing.B) {
 // benches share one body so the comparison can never drift.
 func BenchmarkCampaignDayTelemetry(b *testing.B) {
 	benchCampaignDay(b, true)
+}
+
+// BenchmarkFleetCampaign measures the sharded multi-cluster engine: a
+// fleet of six single-day clusters partitioned across shards, streamed
+// through the canonical-order merge (internal/fleet). The Result is
+// bit-identical at every shard count, so the axis is pure wall-clock —
+// near-linear scaling where the host has CPUs to give, collapsed to one
+// point on a 1-CPU machine (the benchWorkerCounts convention).
+func BenchmarkFleetCampaign(b *testing.B) {
+	campaign(b) // ensure profiles measured
+	for _, shards := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				members := make([]fleet.Member, 6)
+				for c := range members {
+					cfg := workload.DefaultConfig(workload.ClusterSeed(uint64(i)+2, c))
+					cfg.Days = 1
+					cfg.Workers = 1
+					members[c] = fleet.Member{Config: cfg, Mix: workload.DefaultMix(campStd)}
+				}
+				if _, err := fleet.Run(members, fleet.Options{Shards: shards}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMeasureStandard measures the six-kernel profile stage as the

@@ -15,6 +15,14 @@
 // The diff is informational: single-iteration timings are noisy, so it
 // never changes the exit status. Pass an empty -o to diff without
 // writing a new report (the committed baseline stays untouched).
+//
+// -gate gates.json turns selected comparisons into a pass/fail contract:
+// per-benchmark ns/op tolerances against the -diff baseline (a generous
+// multiple, because single-iteration timings jitter) and within-run
+// ratio limits (e.g. the telemetry-overhead contract). Any violation —
+// including a gated benchmark missing from the run, so a deleted bench
+// cannot silently pass — exits 1, which is what lets `make ci` fail on a
+// hot-path regression instead of merely recording it.
 package main
 
 import (
@@ -217,10 +225,109 @@ func renderDiff(rows []diffLine) string {
 	return sb.String()
 }
 
+// Gates is the committed regression contract -gate enforces.
+type Gates struct {
+	// Tolerances bound each benchmark's ns/op against the -diff baseline:
+	// new must stay under old * MaxRatio.
+	Tolerances []Tolerance `json:"tolerances,omitempty"`
+	// Ratios bound the quotient of two benchmarks within the same run —
+	// baseline-free contracts like telemetry overhead.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// Tolerance is one per-benchmark timing bound.
+type Tolerance struct {
+	// Benchmark is the parsed name (procs suffix stripped), e.g.
+	// "CampaignDay/workers=1".
+	Benchmark string `json:"benchmark"`
+	// MaxRatio is the allowed new/old ns_per_op multiple; must be > 0.
+	MaxRatio float64 `json:"max_ratio"`
+}
+
+// RatioGate is one within-run quotient bound.
+type RatioGate struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	// Max is the allowed numerator/denominator ns_per_op quotient.
+	Max float64 `json:"max"`
+}
+
+// findBench returns the first benchmark with the given parsed name.
+func findBench(rep Report, name string) (Benchmark, bool) {
+	for _, b := range rep.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// applyGates evaluates the contract and returns one message per
+// violation. A gated benchmark missing from either report is itself a
+// violation: a gate that cannot measure must not pass.
+func applyGates(g Gates, oldRep, newRep Report) []string {
+	var viol []string
+	for _, tol := range g.Tolerances {
+		if tol.MaxRatio <= 0 {
+			viol = append(viol, fmt.Sprintf("gate %s: max_ratio must be > 0, got %g", tol.Benchmark, tol.MaxRatio))
+			continue
+		}
+		ob, okOld := findBench(oldRep, tol.Benchmark)
+		nb, okNew := findBench(newRep, tol.Benchmark)
+		switch {
+		case !okOld:
+			viol = append(viol, fmt.Sprintf("gate %s: benchmark missing from the baseline", tol.Benchmark))
+		case !okNew:
+			viol = append(viol, fmt.Sprintf("gate %s: benchmark missing from this run", tol.Benchmark))
+		case ob.NsPerOp <= 0:
+			viol = append(viol, fmt.Sprintf("gate %s: baseline ns/op is %g", tol.Benchmark, ob.NsPerOp))
+		case nb.NsPerOp > ob.NsPerOp*tol.MaxRatio:
+			viol = append(viol, fmt.Sprintf("gate %s: %.0f ns/op exceeds %.2fx the baseline %.0f (limit %.0f)",
+				tol.Benchmark, nb.NsPerOp, tol.MaxRatio, ob.NsPerOp, ob.NsPerOp*tol.MaxRatio))
+		}
+	}
+	for _, r := range g.Ratios {
+		num, okN := findBench(newRep, r.Numerator)
+		den, okD := findBench(newRep, r.Denominator)
+		switch {
+		case r.Max <= 0:
+			viol = append(viol, fmt.Sprintf("gate %s: max must be > 0, got %g", r.Name, r.Max))
+		case !okN:
+			viol = append(viol, fmt.Sprintf("gate %s: benchmark %s missing from this run", r.Name, r.Numerator))
+		case !okD:
+			viol = append(viol, fmt.Sprintf("gate %s: benchmark %s missing from this run", r.Name, r.Denominator))
+		case den.NsPerOp <= 0:
+			viol = append(viol, fmt.Sprintf("gate %s: denominator ns/op is %g", r.Name, den.NsPerOp))
+		case num.NsPerOp/den.NsPerOp > r.Max:
+			viol = append(viol, fmt.Sprintf("gate %s: %s/%s = %.3f exceeds %.3f",
+				r.Name, r.Numerator, r.Denominator, num.NsPerOp/den.NsPerOp, r.Max))
+		}
+	}
+	return viol
+}
+
 func main() {
 	out := flag.String("o", "BENCH_campaign.json", "write the parsed benchmark table here ('' to skip writing)")
 	diff := flag.String("diff", "", "print per-benchmark deltas against this earlier report (informational only)")
+	gate := flag.String("gate", "", "enforce this gates file (per-benchmark tolerance vs the -diff baseline, within-run ratios); violations exit 1")
 	flag.Parse()
+	var gates Gates
+	if *gate != "" {
+		buf, err := os.ReadFile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(buf, &gates); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *gate, err)
+			os.Exit(1)
+		}
+		if len(gates.Tolerances) > 0 && *diff == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate tolerances need a baseline; pass -diff")
+			os.Exit(1)
+		}
+	}
 
 	rep, err := parseRun(os.Stdin, os.Stdout)
 	if err != nil {
@@ -243,18 +350,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 	}
+	var oldRep Report
 	if *diff != "" {
 		buf, err := os.ReadFile(*diff)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		var oldRep Report
 		if err := json.Unmarshal(buf, &oldRep); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *diff, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (timing deltas are informational, not pass/fail)\n", *diff)
 		fmt.Fprint(os.Stderr, renderDiff(diffReports(oldRep, rep)))
+	}
+	if *gate != "" {
+		if viol := applyGates(gates, oldRep, rep); len(viol) > 0 {
+			for _, v := range viol {
+				fmt.Fprintf(os.Stderr, "benchjson: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s passed (%d tolerance(s), %d ratio(s))\n",
+			*gate, len(gates.Tolerances), len(gates.Ratios))
 	}
 }

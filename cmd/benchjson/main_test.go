@@ -140,3 +140,87 @@ func TestRenderDiff(t *testing.T) {
 		}
 	}
 }
+
+func gateReports() (Report, Report) {
+	oldRep := Report{Benchmarks: []Benchmark{
+		{Name: "CampaignDay/workers=1", NsPerOp: 10_000_000},
+		{Name: "FleetCampaign/shards=1", NsPerOp: 60_000_000},
+	}}
+	newRep := Report{Benchmarks: []Benchmark{
+		{Name: "CampaignDay/workers=1", NsPerOp: 11_000_000},
+		{Name: "CampaignDayTelemetry/workers=1", NsPerOp: 11_200_000},
+		{Name: "FleetCampaign/shards=1", NsPerOp: 59_000_000},
+	}}
+	return oldRep, newRep
+}
+
+func TestApplyGatesClean(t *testing.T) {
+	oldRep, newRep := gateReports()
+	g := Gates{
+		Tolerances: []Tolerance{
+			{Benchmark: "CampaignDay/workers=1", MaxRatio: 2},
+			{Benchmark: "FleetCampaign/shards=1", MaxRatio: 2},
+		},
+		Ratios: []RatioGate{{
+			Name:      "telemetry-overhead",
+			Numerator: "CampaignDayTelemetry/workers=1", Denominator: "CampaignDay/workers=1",
+			Max: 1.5,
+		}},
+	}
+	if viol := applyGates(g, oldRep, newRep); len(viol) != 0 {
+		t.Fatalf("clean run flagged: %v", viol)
+	}
+}
+
+func TestApplyGatesViolations(t *testing.T) {
+	oldRep, newRep := gateReports()
+	cases := []struct {
+		name string
+		g    Gates
+		want string
+	}{
+		{"regression",
+			Gates{Tolerances: []Tolerance{{Benchmark: "CampaignDay/workers=1", MaxRatio: 1.05}}},
+			"exceeds 1.05x"},
+		{"missing-from-run",
+			Gates{Tolerances: []Tolerance{{Benchmark: "NoSuchBench", MaxRatio: 2}}},
+			"missing from the baseline"},
+		{"missing-from-baseline",
+			Gates{Tolerances: []Tolerance{{Benchmark: "CampaignDayTelemetry/workers=1", MaxRatio: 2}}},
+			"missing from the baseline"},
+		{"bad-max-ratio",
+			Gates{Tolerances: []Tolerance{{Benchmark: "CampaignDay/workers=1", MaxRatio: 0}}},
+			"max_ratio must be > 0"},
+		{"ratio-exceeded",
+			Gates{Ratios: []RatioGate{{Name: "tel", Numerator: "CampaignDayTelemetry/workers=1",
+				Denominator: "CampaignDay/workers=1", Max: 1.001}}},
+			"exceeds 1.001"},
+		{"ratio-missing-bench",
+			Gates{Ratios: []RatioGate{{Name: "tel", Numerator: "NoSuchBench",
+				Denominator: "CampaignDay/workers=1", Max: 2}}},
+			"missing from this run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			viol := applyGates(tc.g, oldRep, newRep)
+			if len(viol) != 1 {
+				t.Fatalf("got %d violations, want 1: %v", len(viol), viol)
+			}
+			if !strings.Contains(viol[0], tc.want) {
+				t.Errorf("violation %q missing %q", viol[0], tc.want)
+			}
+		})
+	}
+}
+
+// TestApplyGatesDeletedBenchFails pins the no-silent-pass property: a
+// gated benchmark that disappears from the fresh run is a failure even
+// when the baseline still has it.
+func TestApplyGatesDeletedBenchFails(t *testing.T) {
+	oldRep, _ := gateReports()
+	g := Gates{Tolerances: []Tolerance{{Benchmark: "FleetCampaign/shards=1", MaxRatio: 2}}}
+	viol := applyGates(g, oldRep, Report{Benchmarks: []Benchmark{{Name: "Other", NsPerOp: 1}}})
+	if len(viol) != 1 || !strings.Contains(viol[0], "missing from this run") {
+		t.Fatalf("deleted gated bench not flagged: %v", viol)
+	}
+}

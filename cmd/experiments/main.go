@@ -8,9 +8,11 @@
 //	experiments -days 90 -table2 -fig3     # shorter campaign, selected outputs
 //	experiments -trace run.json.gz -all    # analyse a saved campaign
 //	experiments -spec bursty -fig1         # run a named workload-spec preset
+//	experiments -clusters 4 -shards 2 -all # tables over a merged fleet campaign
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +20,9 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cliperf"
+	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/profile"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -46,6 +50,11 @@ func main() {
 	f5 := flag.Bool("fig5", false, "Figure 5: performance vs system intervention")
 	whatif := flag.Bool("whatif", false, "what-if: the I/O-wait counter selection the paper recommends")
 	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix when running fresh; reductions use covered time")
+	clusters := flag.Int("clusters", 0, "fleet size when running fresh: this many copies of the campaign as a multi-cluster fleet; 0 defers to the spec's fleet block (or a single cluster)")
+	shards := flag.Int("shards", 1, "fleet shards: cluster-level workers (results are identical at any setting)")
+	checkpoint := flag.String("checkpoint", "", "fleet checkpoint file (.json or .json.gz), written as clusters complete")
+	resumeRun := flag.Bool("resume", false, "resume the fleet campaign recorded in -checkpoint")
+	haltAfter := flag.Int("halt-after", 0, "stop the fleet after this many cluster completions (smoke/testing; requires -checkpoint)")
 	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
 	telFmt := flag.String("telemetry", "", `append the hpmtel self-measurement snapshot after the outputs ("text" or "json")`)
@@ -54,6 +63,36 @@ func main() {
 	flag.Parse()
 	if *telFmt != "" && *telFmt != "text" && *telFmt != "json" {
 		fmt.Fprintf(os.Stderr, "experiments: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *clusters < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -clusters must be >= 0, got %d\n", *clusters)
+		os.Exit(2)
+	}
+	if *haltAfter < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -halt-after must be >= 0, got %d\n", *haltAfter)
+		os.Exit(2)
+	}
+	if *resumeRun && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *haltAfter > 0 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -halt-after requires -checkpoint")
+		os.Exit(2)
+	}
+	fleetFlags := *clusters > 0 || *checkpoint != "" || *resumeRun || *haltAfter > 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			fleetFlags = true
+		}
+	})
+	if fleetFlags && *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "experiments: fleet flags run a fresh campaign and cannot be combined with -trace")
 		os.Exit(2)
 	}
 	if *listPresets {
@@ -110,6 +149,60 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loaded %d-day campaign from %s\n\n", len(res.Days), *tracePath)
+	} else if fleetFlags || (sp != nil && sp.Fleet != nil) {
+		// Fleet path: a sharded multi-cluster campaign merged in canonical
+		// cluster order (internal/fleet); every table below reads the
+		// fleet-wide reduction.
+		ccfg := core.Config{Seed: *seed, Workers: *workers}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "days":
+				ccfg.Days = *days
+			case "nodes":
+				ccfg.Nodes = *nodes
+			}
+		})
+		var sys *core.System
+		var err error
+		if sp != nil {
+			sys, err = core.NewWithSpec(ccfg, sp)
+		} else {
+			sys = core.New(ccfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		members, err := sys.FleetMembers(*clusters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		totalNodes := 0
+		for i := range members {
+			if *withFaults && members[i].Config.Faults == nil {
+				f := faults.Default()
+				members[i].Config.Faults = &f
+			}
+			totalNodes += members[i].Config.Nodes
+		}
+		fmt.Printf("running a %d-cluster fleet campaign (%d nodes total, seed %d, %d shards, %d workers each)...\n\n",
+			len(members), totalNodes, *seed, *shards, *workers)
+		res, err = fleet.Run(members, fleet.Options{
+			Shards:     *shards,
+			Checkpoint: *checkpoint,
+			Resume:     *resumeRun,
+			HaltAfter:  *haltAfter,
+		})
+		switch {
+		case errors.Is(err, fleet.ErrHalted):
+			fmt.Printf("fleet halted after %d cluster completion(s); %s holds the partial campaign — rerun with -resume to continue\n",
+				*haltAfter, *checkpoint)
+			return
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	} else {
 		label := ""
 		if sp != nil {

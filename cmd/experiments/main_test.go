@@ -1,0 +1,116 @@
+package main
+
+// The experiments CLI contract for the fleet flags: validation exit
+// codes (2 malformed invocation, 1 runtime failure — the spsim
+// convention) and the -trace conflict. Fleet execution itself is
+// exercised through cmd/spsim and internal/fleet; only the cheap
+// reject-early paths run a binary here.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds experiments once per test run.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "experiments-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "experiments")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building experiments: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// run executes experiments and returns (stdout, stderr, exit code).
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running experiments: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestFleetFlagValidationExits2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"shards-zero", []string{"-shards", "0", "-days", "1"}, "-shards must be >= 1"},
+		{"shards-negative", []string{"-shards", "-2", "-days", "1"}, "-shards must be >= 1"},
+		{"clusters-negative", []string{"-clusters", "-1", "-days", "1"}, "-clusters must be >= 0"},
+		{"halt-negative", []string{"-halt-after", "-1", "-days", "1"}, "-halt-after must be >= 0"},
+		{"resume-without-checkpoint", []string{"-resume", "-days", "1"}, "-resume requires -checkpoint"},
+		{"halt-without-checkpoint", []string{"-halt-after", "1", "-days", "1"}, "-halt-after requires -checkpoint"},
+		{"fleet-with-trace", []string{"-clusters", "2", "-trace", "db.json"}, "cannot be combined with -trace"},
+		{"shards-with-trace", []string{"-shards", "2", "-trace", "db.json"}, "cannot be combined with -trace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestFleetResumeBadCheckpointExits1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary run in -short mode")
+	}
+	dir := t.TempDir()
+	_, stderr, code := run(t, "-days", "1", "-checkpoint", filepath.Join(dir, "nope.json"), "-resume", "-table1")
+	if code != 1 {
+		t.Fatalf("missing checkpoint: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := run(t, "-days", "1", "-checkpoint", corrupt, "-resume", "-table1"); code != 1 {
+		t.Fatalf("corrupt checkpoint: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+}
+
+func TestUnknownPresetExits2(t *testing.T) {
+	if _, _, code := run(t, "-spec", "no-such-preset", "-days", "1"); code != 2 {
+		t.Fatalf("unknown -spec: exit %d, want 2", code)
+	}
+}

@@ -9,15 +9,23 @@
 // checks specs without running anything (exit 0 clean, 2 malformed — the
 // hpmlint exit-code convention, so CI can gate on it).
 //
+// Any fleet flag (-clusters, -shards, -checkpoint, -resume, -halt-after)
+// or a spec with a fleet block switches to the sharded multi-cluster
+// campaign engine (internal/fleet): N clusters partitioned across shards,
+// merged in canonical cluster order — results are bit-identical at every
+// shard count and across a kill/resume cycle.
+//
 // Usage:
 //
 //	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-faults] [-o db.json.gz]
 //	      [-spec preset-or-file] [-list-presets] [-validate [spec files...]]
+//	      [-clusters N] [-shards N] [-checkpoint fleet.json.gz] [-resume] [-halt-after N]
 //	      [-csv jobs.csv] [-telemetry text|json] [-profile-cache profiles.json.gz]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +33,9 @@ import (
 	"sort"
 
 	"repro/internal/cliperf"
+	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/profile"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -81,6 +91,11 @@ func main() {
 	listPresets := flag.Bool("list-presets", false, "list the committed workload-spec presets and exit")
 	validate := flag.Bool("validate", false, "validate workload specs and exit 0 (clean) or 2 (malformed): the -spec reference, file arguments, or — with neither — every committed preset")
 	withFaults := flag.Bool("faults", false, "inject the default collection-fault mix (crashes, cron misses, daemon restarts) and report coverage; a spec's own faults block takes precedence")
+	clusters := flag.Int("clusters", 0, "fleet size: run this many copies of the campaign as a multi-cluster fleet; 0 defers to the spec's fleet block (or a single cluster)")
+	shards := flag.Int("shards", 1, "fleet shards: cluster-level workers, each owning its own engine pool (results are identical at any setting)")
+	checkpoint := flag.String("checkpoint", "", "fleet checkpoint file (.json or .json.gz), written as clusters complete")
+	resumeRun := flag.Bool("resume", false, "resume the fleet campaign recorded in -checkpoint")
+	haltAfter := flag.Int("halt-after", 0, "stop the fleet after this many cluster completions (smoke/testing; requires -checkpoint)")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
@@ -92,6 +107,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spsim: -telemetry must be \"text\" or \"json\", got %q\n", *telFmt)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "spsim: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *clusters < 0 {
+		fmt.Fprintf(os.Stderr, "spsim: -clusters must be >= 0, got %d\n", *clusters)
+		os.Exit(2)
+	}
+	if *haltAfter < 0 {
+		fmt.Fprintf(os.Stderr, "spsim: -halt-after must be >= 0, got %d\n", *haltAfter)
+		os.Exit(2)
+	}
+	if *resumeRun && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "spsim: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *haltAfter > 0 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "spsim: -halt-after requires -checkpoint")
+		os.Exit(2)
+	}
+	// Any explicit fleet flag selects the fleet engine; so does a spec
+	// fleet block (checked after the spec loads). A fleet of one in one
+	// shard reduces to the classic campaign bit-for-bit, so the switch
+	// never changes results — only the machinery.
+	fleetFlags := *clusters > 0 || *checkpoint != "" || *resumeRun || *haltAfter > 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			fleetFlags = true
+		}
+	})
 
 	if *listPresets {
 		for _, name := range spec.PresetNames() {
@@ -169,22 +214,93 @@ func main() {
 		cfg.Faults = &f
 	}
 
-	scenario := ""
-	if cfg.Scenario != "" {
-		scenario = fmt.Sprintf(" [scenario %s]", cfg.Scenario)
-	}
-	fmt.Printf("running %d-day campaign on %d nodes (%d workers)%s...\n", cfg.Days, cfg.Nodes, *workers, scenario)
-	var rr workload.ResultReducer
+	var res workload.Result
 	var telRed workload.TelemetryReducer
-	tee := workload.TeeReducer{&rr}
-	if *verbose {
-		tee = append(workload.TeeReducer{dayPrinter{cfg.Nodes}}, tee...)
+	if fleetFlags || (sp != nil && sp.Fleet != nil) {
+		// Fleet path: per-cluster configs (spec fleet block or -clusters
+		// replicas) with substream-derived seeds, sharded and merged in
+		// canonical cluster order by internal/fleet.
+		ccfg := core.Config{Seed: *seed, Workers: *workers}
+		flag.Visit(func(f *flag.Flag) {
+			// Explicit -days/-nodes override every cluster; defaults defer
+			// to the spec's campaign block and per-cluster overrides.
+			switch f.Name {
+			case "days":
+				ccfg.Days = *days
+			case "nodes":
+				ccfg.Nodes = *nodes
+			}
+		})
+		var sys *core.System
+		var err error
+		if sp != nil {
+			sys, err = core.NewWithSpec(ccfg, sp)
+		} else {
+			sys = core.New(ccfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(2)
+		}
+		members, err := sys.FleetMembers(*clusters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(2)
+		}
+		totalNodes := 0
+		for i := range members {
+			if *withFaults && members[i].Config.Faults == nil {
+				f := faults.Default()
+				members[i].Config.Faults = &f
+			}
+			totalNodes += members[i].Config.Nodes
+		}
+		scenario := ""
+		if members[0].Config.Scenario != "" {
+			scenario = fmt.Sprintf(" [scenario %s]", members[0].Config.Scenario)
+		}
+		fmt.Printf("running %d-cluster fleet campaign (%d nodes total, %d shards, %d workers each)%s...\n",
+			len(members), totalNodes, *shards, *workers, scenario)
+		var sinks workload.TeeReducer
+		if *verbose {
+			sinks = append(sinks, dayPrinter{totalNodes})
+		}
+		if *telFmt != "" {
+			sinks = append(sinks, &telRed)
+		}
+		res, err = fleet.Run(members, fleet.Options{
+			Shards:     *shards,
+			Checkpoint: *checkpoint,
+			Resume:     *resumeRun,
+			HaltAfter:  *haltAfter,
+		}, sinks...)
+		switch {
+		case errors.Is(err, fleet.ErrHalted):
+			fmt.Printf("fleet halted after %d cluster completion(s); %s holds the partial campaign — rerun with -resume to continue\n",
+				*haltAfter, *checkpoint)
+			return
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg = res.Config
+	} else {
+		scenario := ""
+		if cfg.Scenario != "" {
+			scenario = fmt.Sprintf(" [scenario %s]", cfg.Scenario)
+		}
+		fmt.Printf("running %d-day campaign on %d nodes (%d workers)%s...\n", cfg.Days, cfg.Nodes, *workers, scenario)
+		var rr workload.ResultReducer
+		tee := workload.TeeReducer{&rr}
+		if *verbose {
+			tee = append(workload.TeeReducer{dayPrinter{cfg.Nodes}}, tee...)
+		}
+		if *telFmt != "" {
+			tee = append(tee, &telRed)
+		}
+		workload.NewCampaign(cfg, mix).RunInto(tee)
+		res = rr.Result()
 	}
-	if *telFmt != "" {
-		tee = append(tee, &telRed)
-	}
-	workload.NewCampaign(cfg, mix).RunInto(tee)
-	res := rr.Result()
 
 	if *out != "" {
 		if err := trace.WriteFile(*out, res); err != nil {

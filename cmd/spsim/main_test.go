@@ -150,3 +150,84 @@ func TestSpecFlagUnknownPresetExits2(t *testing.T) {
 		t.Errorf("stderr should name the failure: %s", stderr)
 	}
 }
+
+// --- fleet flag contract ---
+
+func TestFleetFlagValidationExits2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"shards-zero", []string{"-shards", "0", "-days", "1"}, "-shards must be >= 1"},
+		{"shards-negative", []string{"-shards", "-3", "-days", "1"}, "-shards must be >= 1"},
+		{"clusters-negative", []string{"-clusters", "-1", "-days", "1"}, "-clusters must be >= 0"},
+		{"halt-negative", []string{"-halt-after", "-1", "-days", "1"}, "-halt-after must be >= 0"},
+		{"resume-without-checkpoint", []string{"-resume", "-days", "1"}, "-resume requires -checkpoint"},
+		{"halt-without-checkpoint", []string{"-halt-after", "2", "-days", "1"}, "-halt-after requires -checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestFleetResumeBadCheckpointExits1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary run in -short mode")
+	}
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	_, stderr, code := run(t, "-days", "1", "-checkpoint", missing, "-resume")
+	if code != 1 {
+		t.Fatalf("missing checkpoint: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := run(t, "-days", "1", "-checkpoint", corrupt, "-resume"); code != 1 {
+		t.Fatalf("corrupt checkpoint: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+}
+
+// TestFleetHaltResumeCLI drives the operational loop end to end: a
+// halted fleet exits 0 pointing at its checkpoint, and a -resume run
+// finishes the campaign from it.
+func TestFleetHaltResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet campaign in -short mode")
+	}
+	cp := filepath.Join(t.TempDir(), "fleet.json.gz")
+	stdout, stderr, code := run(t,
+		"-days", "1", "-clusters", "2", "-shards", "2",
+		"-checkpoint", cp, "-halt-after", "1")
+	if code != 0 {
+		t.Fatalf("halt run: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "halted after 1 cluster completion") {
+		t.Fatalf("halt message missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "campaign summary") {
+		t.Fatal("halted run must not print a summary")
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	stdout, stderr, code = run(t,
+		"-days", "1", "-clusters", "2", "-shards", "2",
+		"-checkpoint", cp, "-resume")
+	if code != 0 {
+		t.Fatalf("resume run: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "campaign summary") {
+		t.Fatalf("resumed run must finish with a summary:\n%s", stdout)
+	}
+}

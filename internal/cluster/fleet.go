@@ -1,0 +1,72 @@
+package cluster
+
+// Fleet assembly: the multi-cluster counterpart of New. Each member is a
+// complete SP2-style machine — its own nodes, switch and NFS homes —
+// because fleet members share nothing at the hardware level; only the
+// campaign layer (internal/fleet) merges their measurements. Callers
+// wanting decorrelated members derive per-cluster CPU seeds themselves
+// (workload.ClusterSeed is the campaign layer's derivation).
+
+import "fmt"
+
+// Fleet is an assembled multi-cluster machine.
+type Fleet struct {
+	members []*Cluster
+}
+
+// NewFleet builds one Cluster per config. It panics on an empty config
+// list, matching New's treatment of impossible shapes.
+func NewFleet(cfgs ...Config) *Fleet {
+	if len(cfgs) == 0 {
+		panic("cluster: fleet needs at least one member")
+	}
+	f := &Fleet{members: make([]*Cluster, len(cfgs))}
+	for i, cfg := range cfgs {
+		f.members[i] = New(cfg)
+	}
+	return f
+}
+
+// Clusters reports the member count.
+func (f *Fleet) Clusters() int { return len(f.members) }
+
+// Cluster returns member i; it panics on an out-of-range index.
+func (f *Fleet) Cluster(i int) *Cluster {
+	if i < 0 || i >= len(f.members) {
+		panic(fmt.Sprintf("cluster: fleet member %d of %d", i, len(f.members)))
+	}
+	return f.members[i]
+}
+
+// Size reports the total node count across all members.
+func (f *Fleet) Size() int {
+	n := 0
+	for _, c := range f.members {
+		n += c.Size()
+	}
+	return n
+}
+
+// ServeHPM starts one RS2HPM daemon per member on addr (use
+// "127.0.0.1:0" to pick a free port per daemon) and returns the bound
+// addresses in member order. On error every already-started daemon is
+// stopped — the fleet either serves completely or not at all.
+func (f *Fleet) ServeHPM(addr string) ([]string, error) {
+	bound := make([]string, 0, len(f.members))
+	for i, c := range f.members {
+		b, err := c.ServeHPM(addr)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: fleet member %d: %w", i, err)
+		}
+		bound = append(bound, b)
+	}
+	return bound, nil
+}
+
+// Close stops every member's daemon.
+func (f *Fleet) Close() {
+	for _, c := range f.members {
+		c.Close()
+	}
+}

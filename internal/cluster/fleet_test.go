@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hpm"
+	"repro/internal/rs2hpm"
+)
+
+func TestFleetAssembly(t *testing.T) {
+	f := NewFleet(Config{Nodes: 4}, Config{Nodes: 2})
+	if f.Clusters() != 2 {
+		t.Fatalf("Clusters = %d", f.Clusters())
+	}
+	if f.Size() != 6 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	if f.Cluster(1).Size() != 2 {
+		t.Fatal("member 1 wrong size")
+	}
+	// Members are fully independent machines: separate switches.
+	if f.Cluster(0).Network() == f.Cluster(1).Network() {
+		t.Fatal("fleet members share a switch")
+	}
+}
+
+func TestFleetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { NewFleet() },
+		"out-of-range": func() { NewFleet(Config{Nodes: 1}).Cluster(1) },
+	} {
+		fn := fn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFleetServeHPM(t *testing.T) {
+	f := NewFleet(Config{Nodes: 2}, Config{Nodes: 2})
+	defer f.Close()
+	addrs, err := f.ServeHPM("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Fatalf("bound addresses %v", addrs)
+	}
+	for i, addr := range addrs {
+		client, err := rs2hpm.Dial(addr)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		c, err := client.Counters(0)
+		client.Close()
+		if err != nil {
+			t.Fatalf("member %d counters: %v", i, err)
+		}
+		_ = c.Get(hpm.User, hpm.EvCycles)
+	}
+	// A second serve must fail (daemons already running) and leave the
+	// fleet closed afterwards per the all-or-nothing contract.
+	if _, err := f.ServeHPM("127.0.0.1:0"); err == nil {
+		t.Fatal("double ServeHPM accepted")
+	}
+	if _, err := f.ServeHPM("127.0.0.1:0"); err != nil {
+		t.Fatalf("serve after rollback-close failed: %v", err)
+	}
+}

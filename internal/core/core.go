@@ -51,12 +51,21 @@ type System struct {
 	// base is the spec-resolved campaign configuration when the system was
 	// built with NewWithSpec; nil means the paper's DefaultConfig.
 	base *workload.Config
+	// sp is the source spec when built with NewWithSpec; the fleet path
+	// re-resolves it per cluster (fleet blocks carry per-cluster
+	// overrides a single Config cannot).
+	sp *spec.Spec
+	// daysSet/nodesSet record whether the caller's Config carried
+	// explicit Days/Nodes — those override every cluster of a fleet,
+	// while inherited values defer to per-cluster spec overrides.
+	daysSet, nodesSet bool
 }
 
 // New measures the standard kernel profiles (a few hundred thousand
 // simulated instructions each) and returns a ready System running the
 // built-in paper-1996 workload.
 func New(cfg Config) *System {
+	daysSet, nodesSet := cfg.Days != 0, cfg.Nodes != 0
 	if cfg.Days == 0 {
 		cfg.Days = 270
 	}
@@ -67,7 +76,7 @@ func New(cfg Config) *System {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	std := profile.MeasureStandardWorkers(cfg.Seed, cfg.Workers)
-	return &System{cfg: cfg, std: std, mix: workload.DefaultMix(std)}
+	return &System{cfg: cfg, std: std, mix: workload.DefaultMix(std), daysSet: daysSet, nodesSet: nodesSet}
 }
 
 // NewWithSpec measures the standard kernel profiles and resolves the
@@ -75,6 +84,7 @@ func New(cfg Config) *System {
 // facade. Zero Config fields inherit the spec's campaign block rather
 // than the paper's constants; Seed and Workers are always the caller's.
 func NewWithSpec(cfg Config, sp *spec.Spec) (*System, error) {
+	daysSet, nodesSet := cfg.Days != 0, cfg.Nodes != 0
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,7 +99,7 @@ func NewWithSpec(cfg Config, sp *spec.Spec) (*System, error) {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = wc.Nodes
 	}
-	return &System{cfg: cfg, std: std, mix: mix, base: &wc}, nil
+	return &System{cfg: cfg, std: std, mix: mix, base: &wc, sp: sp, daysSet: daysSet, nodesSet: nodesSet}, nil
 }
 
 // Profiles exposes the measured kernel signatures.

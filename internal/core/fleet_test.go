@@ -1,0 +1,127 @@
+package core
+
+// The fleet facade: member construction (seeds, replication, spec fleet
+// blocks, explicit-override precedence) and a short end-to-end RunFleet.
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func TestFleetMembersReplicatesBaseCampaign(t *testing.T) {
+	s := system(t)
+	members, err := s.FleetMembers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 {
+		t.Fatalf("got %d members, want 3", len(members))
+	}
+	base := s.CampaignConfig()
+	for i, m := range members {
+		want := base
+		want.Seed = workload.ClusterSeed(base.Seed, i)
+		if m.Config != want {
+			t.Errorf("member %d config:\n got %+v\nwant %+v", i, m.Config, want)
+		}
+	}
+	if members[0].Config.Seed != base.Seed {
+		t.Fatalf("cluster 0 seed = %d, want the campaign seed %d (identity)", members[0].Config.Seed, base.Seed)
+	}
+	one, err := s.FleetMembers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Config != base {
+		t.Fatalf("spec-less fleet of one must be the campaign itself, got %+v", one)
+	}
+}
+
+func burstyFleetSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	sp, err := spec.Preset("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Fleet = &spec.FleetBlock{
+		Clusters:  2,
+		Overrides: []spec.ClusterOverride{{Cluster: 1, Days: 1, Nodes: 128}},
+	}
+	return sp
+}
+
+func TestFleetMembersFromSpecFleetBlock(t *testing.T) {
+	s, err := NewWithSpec(Config{Seed: 4}, burstyFleetSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FleetClusters() != 2 {
+		t.Fatalf("FleetClusters = %d, want 2", s.FleetClusters())
+	}
+	members, err := s.FleetMembers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("got %d members, want 2", len(members))
+	}
+	if c := members[0].Config; c.Days != 90 || c.Nodes != 144 {
+		t.Fatalf("cluster 0 must inherit the campaign block (90 days, 144 nodes): %+v", c)
+	}
+	if c := members[1].Config; c.Days != 1 || c.Nodes != 128 {
+		t.Fatalf("cluster 1 override (1 day, 128 nodes) not applied: %+v", c)
+	}
+	for i, m := range members {
+		if m.Config.Seed != workload.ClusterSeed(4, i) {
+			t.Errorf("member %d seed = %d, want ClusterSeed(4, %d)", i, m.Config.Seed, i)
+		}
+	}
+	// An explicit member count redefines the fleet: homogeneous copies.
+	four, err := s.FleetMembers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(four) != 4 {
+		t.Fatalf("got %d members, want 4", len(four))
+	}
+	if c := four[1].Config; c.Days != 90 || c.Nodes != 144 {
+		t.Fatalf("explicit cluster count must drop per-cluster overrides: %+v", c)
+	}
+}
+
+// TestRunFleetWithSpecOverrides drives the whole stack: explicit Days
+// override every cluster of the fleet, and the merged reduction streams
+// out with summed capacity.
+func TestRunFleetWithSpecOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	s, err := NewWithSpec(Config{Seed: 4, Days: 2}, burstyFleetSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := s.FleetMembers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if m.Config.Days != 2 {
+			t.Fatalf("explicit -days must override cluster %d, got %d", i, m.Config.Days)
+		}
+	}
+	res, err := s.RunFleet(FleetConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 2 {
+		t.Fatalf("merged days = %d, want 2", len(res.Days))
+	}
+	if res.Config.Nodes != 144+128 {
+		t.Fatalf("merged nodes = %d, want the fleet's 272", res.Config.Nodes)
+	}
+	if res.Config.Scenario != "bursty" {
+		t.Fatalf("scenario = %q, want bursty", res.Config.Scenario)
+	}
+}

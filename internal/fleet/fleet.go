@@ -1,0 +1,343 @@
+// Package fleet shards a multi-cluster campaign across parallel workers
+// and folds the per-cluster reductions through a canonical-order merge
+// tree into one fleet-wide Result — the paper's per-day cluster
+// reduction applied to a whole fleet of SP2-class machines.
+//
+// The layering sits above the staged engine: each fleet member is an
+// ordinary (Config, Mix) campaign whose seed comes from
+// workload.ClusterSeed, each shard owns a stripe of clusters (shard s
+// runs clusters s, s+Shards, ...) and runs them sequentially through its
+// own engine worker pool, and a frontier merger streams merged fleet
+// days to the caller's reducers the moment every cluster has closed that
+// day — analysis consumes a fleet online exactly as it consumes one
+// machine.
+//
+// The determinism contract carries over unchanged: a cluster's Result is
+// a pure function of (Config, Mix, seed), the merge folds clusters in
+// ascending index (never in completion order), and therefore the merged
+// Result is bit-identical for every shard count, every worker count, and
+// across a kill/resume cycle. Checkpoints (internal/trace) record the
+// completed-cluster frontier; anything in flight at a kill is simply
+// re-run from its own day 0 on resume and lands on the same bits.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Member is one cluster of the fleet: a complete campaign definition.
+// Derive Config.Seed with workload.ClusterSeed so clusters draw from
+// disjoint substream namespaces.
+type Member struct {
+	Config workload.Config
+	Mix    workload.Mix
+}
+
+// Options shape a fleet run. The zero value runs everything in one shard
+// with no checkpointing.
+type Options struct {
+	// Shards is the number of cluster-level workers; values below 1 mean
+	// one shard. Shards trades wall clock only — the merged Result is
+	// bit-identical for every value.
+	Shards int
+	// Checkpoint, when non-empty, is the path checkpoints are written to
+	// (atomically, after every cluster completion; ".gz" compresses).
+	Checkpoint string
+	// CheckpointEachDay additionally rewrites the checkpoint at every
+	// cluster-day boundary, keeping the cursor record fresh for long
+	// clusters at the cost of more (still atomic) writes.
+	CheckpointEachDay bool
+	// Resume loads Checkpoint before running and skips the clusters it
+	// records as complete. The checkpoint must match the fleet definition
+	// (FleetID) or Run fails.
+	Resume bool
+	// HaltAfter, when positive, stops the run after that many cluster
+	// completions in this process: no new clusters start, the checkpoint
+	// holds the completed frontier, and Run returns ErrHalted. It exists
+	// to force kill/resume cycles in tests and smoke targets.
+	HaltAfter int
+}
+
+// ErrHalted reports a run stopped by Options.HaltAfter: progress is in
+// the checkpoint, and the campaign is resumable, but there is no merged
+// Result yet.
+var ErrHalted = errors.New("fleet: halted by HaltAfter; campaign checkpointed, not complete")
+
+// ID binds a checkpoint to a fleet definition: the fnv-64a hash of every
+// member's serialized (Config, Mix). Execution knobs (Workers, the spec
+// label) are excluded from Config's JSON form, so a resume may change
+// shard or worker counts without invalidating the checkpoint.
+func ID(members []Member) uint64 {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for i := range members {
+		if err := enc.Encode(members[i]); err != nil {
+			panic(fmt.Sprintf("fleet: hashing member %d: %v", i, err))
+		}
+	}
+	return h.Sum64()
+}
+
+// run is the shared state of one fleet execution.
+type run struct {
+	members []Member
+	opts    Options
+	id      uint64
+	maxDays int
+
+	mu sync.Mutex
+	// parts accumulates each cluster's reduction as its days close;
+	// guarded by mu.
+	parts []workload.Result
+	// done marks clusters whose Finish arrived (or was restored); guarded
+	// by mu.
+	done []bool
+	// next is the first fleet day not yet streamed to the sinks; guarded
+	// by mu.
+	next int
+	// completions counts clusters finished in this process (restored ones
+	// excluded), the HaltAfter trigger; guarded by mu.
+	completions int
+	// halt stops shards from starting new clusters; guarded by mu.
+	halt bool
+	// cpErr is the first checkpoint-write failure; once set, no further
+	// writes are attempted and Run reports it. Guarded by mu.
+	cpErr error
+	// sinks receive the merged day stream; called only under mu, so
+	// reducers need no locking of their own. The tail sink is the
+	// internal ResultReducer the merged Result comes from.
+	sinks workload.TeeReducer
+}
+
+// Run executes the fleet campaign and returns the merged Result. The
+// sinks receive the merged reduction stream — fleet day d the moment
+// every cluster has closed its day d, then the merged Final — so a
+// streaming analysis rides along exactly as it does on one campaign.
+func Run(members []Member, opts Options, sinks ...workload.Reducer) (workload.Result, error) {
+	if len(members) == 0 {
+		return workload.Result{}, errors.New("fleet: no members")
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Resume && opts.Checkpoint == "" {
+		return workload.Result{}, errors.New("fleet: Resume requires a Checkpoint path")
+	}
+
+	var rr workload.ResultReducer
+	r := &run{
+		members: members,
+		opts:    opts,
+		id:      ID(members),
+		parts:   make([]workload.Result, len(members)),
+		done:    make([]bool, len(members)),
+		sinks:   append(workload.TeeReducer(sinks), &rr),
+	}
+	for i := range members {
+		if members[i].Config.Days > r.maxDays {
+			r.maxDays = members[i].Config.Days
+		}
+	}
+
+	if opts.Resume {
+		if err := r.restore(); err != nil {
+			return workload.Result{}, err
+		}
+	}
+	// Stream any days already satisfied by restored clusters (a fully
+	// restored fleet must still deliver the whole day stream), and write
+	// the opening checkpoint — an unwritable path must fail before any
+	// cluster burns wall clock on work it could never persist.
+	r.mu.Lock()
+	r.advanceLocked()
+	if r.opts.Checkpoint != "" {
+		r.writeCheckpointLocked()
+	}
+	err := r.cpErr
+	r.mu.Unlock()
+	if err != nil {
+		return workload.Result{}, err
+	}
+
+	busy := shardBusyCounters(opts.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < opts.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r.shardLoop(s, busy[s])
+		}(s)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cpErr != nil {
+		return workload.Result{}, r.cpErr
+	}
+	if r.halt {
+		return workload.Result{}, ErrHalted
+	}
+	for c := range r.done {
+		if !r.done[c] {
+			return workload.Result{}, fmt.Errorf("fleet: cluster %d never finished", c)
+		}
+	}
+	r.sinks.Finish(workload.MergeFinal(r.parts))
+	return rr.Result(), nil
+}
+
+// shardLoop runs the shard's stripe of clusters in ascending index.
+func (r *run) shardLoop(shard int, busy *telemetry.Counter) {
+	for c := shard; c < len(r.members); c += r.opts.Shards {
+		r.mu.Lock()
+		skip := r.done[c]
+		stop := r.halt
+		r.mu.Unlock()
+		if stop {
+			return
+		}
+		if skip {
+			continue
+		}
+		w := telemetry.StartWatch()
+		campaign := workload.NewCampaign(r.members[c].Config, r.members[c].Mix)
+		campaign.RunInto(&clusterTap{r: r, cluster: c})
+		w.Record(telClusterNs)
+		w.AddTo(busy)
+		telClustersRun.Inc()
+	}
+}
+
+// clusterTap is the per-cluster reducer: it forwards the cluster's day
+// stream into the shared merge frontier and records its Final.
+type clusterTap struct {
+	r       *run
+	cluster int
+}
+
+// ReduceDay appends the cluster's closed day and advances the fleet
+// frontier.
+func (t *clusterTap) ReduceDay(d workload.Day) {
+	r := t.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.parts[t.cluster].Days = append(r.parts[t.cluster].Days, d)
+	r.advanceLocked()
+	if r.opts.Checkpoint != "" && r.opts.CheckpointEachDay {
+		r.writeCheckpointLocked()
+	}
+}
+
+// Finish records the cluster's end-of-campaign aggregates, checkpoints
+// the new completed frontier, and arms the halt if HaltAfter is reached.
+func (t *clusterTap) Finish(f workload.Final) {
+	r := t.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &r.parts[t.cluster]
+	p.Config = f.Config
+	p.Records = f.Records
+	p.MaxGflops15min = f.MaxGflops15min
+	p.DroppedRecords = f.DroppedRecords
+	p.Coverage = f.Coverage
+	r.done[t.cluster] = true
+	r.completions++
+	if r.opts.Checkpoint != "" {
+		r.writeCheckpointLocked()
+	}
+	if r.opts.HaltAfter > 0 && r.completions >= r.opts.HaltAfter {
+		r.halt = true
+	}
+}
+
+// advanceLocked streams every fleet day whose inputs are all present:
+// day d is ready once each cluster whose window covers d has closed it.
+// The fold walks clusters in ascending index — the canonical order that
+// makes the float sums independent of shard count and completion order.
+// Caller holds mu.
+func (r *run) advanceLocked() {
+	for ; r.next < r.maxDays; r.next++ {
+		d := r.next
+		for c := range r.members {
+			if r.members[c].Config.Days > d && len(r.parts[c].Days) <= d {
+				return
+			}
+		}
+		day := workload.Day{Index: d}
+		for c := range r.parts {
+			if d < len(r.parts[c].Days) {
+				day.Merge(r.parts[c].Days[d])
+			}
+		}
+		r.sinks.ReduceDay(day)
+		telDaysMerged.Inc()
+	}
+}
+
+// writeCheckpointLocked persists the completed-cluster frontier plus the
+// per-cluster day cursors. Caller holds mu; the write is atomic
+// (tmp+rename), so a kill at any moment leaves a loadable checkpoint. On
+// the first write failure checkpointing stops and Run reports the error
+// — silently running on without durability would defeat the point.
+func (r *run) writeCheckpointLocked() {
+	if r.cpErr != nil {
+		return
+	}
+	cp := trace.FleetCheckpoint{
+		Version:  trace.FleetCheckpointVersion,
+		FleetID:  r.id,
+		Clusters: len(r.members),
+	}
+	for c := range r.parts {
+		if r.done[c] {
+			cp.Done = append(cp.Done, trace.FleetClusterResult{Cluster: c, Result: r.parts[c]})
+		}
+		if n := len(r.parts[c].Days); n > 0 || r.done[c] {
+			cp.Cursors = append(cp.Cursors, trace.FleetCursor{Cluster: c, NextDay: n})
+		}
+	}
+	w := telemetry.StartWatch()
+	if err := trace.WriteFleetCheckpointFile(r.opts.Checkpoint, cp); err != nil {
+		r.cpErr = fmt.Errorf("fleet: checkpoint: %w", err)
+		r.halt = true // no point finishing clusters that can never persist
+		return
+	}
+	w.Record(telCheckpointNs)
+	telCheckpoints.Inc()
+}
+
+// restore loads the checkpoint and marks its completed clusters done. It
+// runs before any shard goroutine exists, but takes the lock anyway so
+// the parts/done guard invariant holds everywhere they are written.
+func (r *run) restore() error {
+	cp, err := trace.ReadFleetCheckpointFile(r.opts.Checkpoint)
+	if err != nil {
+		return fmt.Errorf("fleet: resume: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cp.FleetID != r.id {
+		return fmt.Errorf("fleet: resume: checkpoint is for fleet %016x, this fleet is %016x (definition changed?)", cp.FleetID, r.id)
+	}
+	if cp.Clusters != len(r.members) {
+		return fmt.Errorf("fleet: resume: checkpoint has %d clusters, fleet has %d", cp.Clusters, len(r.members))
+	}
+	for _, d := range cp.Done {
+		if got, want := len(d.Result.Days), r.members[d.Cluster].Config.Days; got != want {
+			return fmt.Errorf("fleet: resume: cluster %d checkpointed with %d days, config says %d", d.Cluster, got, want)
+		}
+		r.parts[d.Cluster] = d.Result
+		r.done[d.Cluster] = true
+		telClustersRestored.Inc()
+	}
+	return nil
+}

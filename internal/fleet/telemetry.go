@@ -1,0 +1,36 @@
+package fleet
+
+// hpmtel instrumentation for the fleet layer. Handles are package-level
+// (one registry lookup at init, atomic updates on the paths that run),
+// per-shard busy counters are materialized once per Run — the only
+// allocations happen at setup, never per day or per cluster. As
+// everywhere else: observation only, no metric feeds back into simulated
+// state, so the merged Result is identical with telemetry on or off.
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	telFleet            = telemetry.Default.Scope("fleet")
+	telClustersRun      = telFleet.Counter("clusters_run")
+	telClustersRestored = telFleet.Counter("clusters_restored")
+	telDaysMerged       = telFleet.Counter("days_merged")
+	telCheckpoints      = telFleet.Counter("checkpoints_written")
+	telClusterNs        = telFleet.Histogram("cluster_ns", telemetry.DurationBuckets)
+	telCheckpointNs     = telFleet.Histogram("checkpoint_ns", telemetry.DurationBuckets)
+)
+
+// shardBusyCounters returns the per-shard busy-time counters,
+// fleet.shard<N>.busy_ns. Registering is idempotent, so repeated fleet
+// runs in one process share (and keep accumulating into) the same
+// counters, mirroring the engine's per-worker pattern.
+func shardBusyCounters(shards int) []*telemetry.Counter {
+	cs := make([]*telemetry.Counter, shards)
+	for s := range cs {
+		cs[s] = telFleet.Counter(fmt.Sprintf("shard%d.busy_ns", s))
+	}
+	return cs
+}

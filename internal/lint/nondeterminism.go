@@ -36,6 +36,11 @@ var simulatorPackages = map[string]bool{
 	// resolution must be a pure function of (spec, profiles) so a named
 	// scenario means the same campaign on every machine and every run.
 	"spec": true,
+	// fleet shards a multi-cluster campaign across goroutines and merges
+	// in canonical cluster order; a clock or unseeded draw there would
+	// break the bit-identical-at-any-shard-count contract the same way it
+	// would inside the engine itself.
+	"fleet": true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

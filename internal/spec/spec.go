@@ -56,6 +56,41 @@ type Spec struct {
 	// the campaign (see internal/faults). An all-zero block is treated
 	// as absent.
 	Faults *Faults `json:"faults,omitempty"`
+	// Fleet optionally scales the scenario out to a multi-cluster fleet
+	// (internal/fleet): Clusters copies of the campaign, each seeded from
+	// its own substream, merged through the canonical-order fleet
+	// reduction. Absent means the classic single-cluster campaign.
+	Fleet *FleetBlock `json:"fleet,omitempty"`
+}
+
+// FleetBlock declares a multi-cluster fleet built from this scenario.
+type FleetBlock struct {
+	// Clusters is the fleet size; every cluster starts as a copy of the
+	// campaign block.
+	Clusters int `json:"clusters"`
+	// Overrides specialize individual clusters — a fleet is rarely
+	// perfectly homogeneous. Zero-valued fields inherit the campaign
+	// block.
+	Overrides []ClusterOverride `json:"overrides,omitempty"`
+}
+
+// ClusterOverride respecifies parts of one cluster's campaign. Only the
+// knobs that vary across real fleet members are overridable; the mix
+// (the user population) is shared fleet-wide by construction.
+type ClusterOverride struct {
+	// Cluster indexes the fleet member, 0-based.
+	Cluster int `json:"cluster"`
+	// Days, when > 0, replaces the measurement-window length.
+	Days int `json:"days,omitempty"`
+	// Nodes, when > 0, replaces the cluster size.
+	Nodes int `json:"nodes,omitempty"`
+	// MeanUtil / UtilSigma, when > 0, reshape the demand distribution.
+	MeanUtil  float64 `json:"mean_util,omitempty"`
+	UtilSigma float64 `json:"util_sigma,omitempty"`
+	// PagingDayProb, when >= 0, replaces the oversubscribed-day
+	// probability; negative (the zero value as far as inheritance goes)
+	// inherits. Use 0 to turn paging days off for a cluster.
+	PagingDayProb *float64 `json:"paging_day_prob,omitempty"`
 }
 
 // Campaign is the window, cluster and demand model of a scenario.

@@ -89,6 +89,9 @@ func (s *Spec) Validate() error {
 	if s.Faults != nil {
 		v.faults(s.Faults)
 	}
+	if s.Fleet != nil {
+		v.fleet(s.Fleet)
+	}
 	if len(v.errs) == 0 {
 		return nil
 	}
@@ -456,5 +459,37 @@ func (v *validator) faults(f *Faults) {
 	}
 	if f.EpilogueDelayMeanSeconds < 0 {
 		v.errorf("faults.epilogue_delay_mean_seconds", "must be >= 0")
+	}
+}
+
+func (v *validator) fleet(f *FleetBlock) {
+	if f.Clusters < 1 {
+		v.errorf("fleet.clusters", "must be >= 1")
+	}
+	seen := make(map[int]bool, len(f.Overrides))
+	for i, ov := range f.Overrides {
+		path := fmt.Sprintf("fleet.overrides[%d]", i)
+		if ov.Cluster < 0 || (f.Clusters >= 1 && ov.Cluster >= f.Clusters) {
+			v.errorf(path+".cluster", "must be in [0, %d)", f.Clusters)
+		} else if seen[ov.Cluster] {
+			v.errorf(path+".cluster", "duplicate override for cluster %d", ov.Cluster)
+		} else {
+			seen[ov.Cluster] = true
+		}
+		if ov.Days < 0 {
+			v.errorf(path+".days", "must be >= 0 (0 inherits)")
+		}
+		if ov.Nodes < 0 {
+			v.errorf(path+".nodes", "must be >= 0 (0 inherits)")
+		}
+		if ov.MeanUtil < 0 || ov.MeanUtil > 1 {
+			v.errorf(path+".mean_util", "must be in [0, 1] (0 inherits)")
+		}
+		if ov.UtilSigma < 0 {
+			v.errorf(path+".util_sigma", "must be >= 0 (0 inherits)")
+		}
+		if p := ov.PagingDayProb; p != nil && (*p < 0 || *p > 1) {
+			v.errorf(path+".paging_day_prob", "must be in [0, 1]")
+		}
 	}
 }

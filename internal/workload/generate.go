@@ -20,11 +20,16 @@ import (
 // must never collide: generation consumes stream genStreamBase+day, while
 // a job consumes stream jobStreamBase+UID. Job UIDs are day<<jobUIDShift|n,
 // which stays far below the 2^40 namespace spacing for any realistic
-// campaign.
+// campaign. Fleet campaigns derive per-cluster seeds from
+// clusterStreamBase+cluster (see ClusterSeed in fleet.go), again far below
+// the spacing for any realistic fleet; 3<<40 and 4<<40 are skipped because
+// internal/faults draws its plan and epilogue streams there from the same
+// campaign seed.
 const (
-	genStreamBase uint64 = 1 << 40
-	jobStreamBase uint64 = 2 << 40
-	jobUIDShift          = 20 // jobs per day fit comfortably in 2^20
+	genStreamBase     uint64 = 1 << 40
+	jobStreamBase     uint64 = 2 << 40
+	clusterStreamBase uint64 = 5 << 40
+	jobUIDShift              = 20 // jobs per day fit comfortably in 2^20
 )
 
 // JobSpec is one generated submission: when it arrives and what it asks
