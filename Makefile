@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke bench-gate fleet-smoke fuzz-smoke property ci
+.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke bench-gate fleet-smoke fuzz-smoke property soak-smoke ci
 
 build:
 	$(GO) build ./...
@@ -60,7 +60,7 @@ bench-smoke:
 # (tens of ms), so the timing is signal; micro benches at -benchtime 1x
 # measure setup noise and stay diff-only.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'CampaignDay|FleetCampaign|MeasureStandardCold' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json -gate BENCH_gates.json
+	$(GO) test -run '^$$' -bench 'CampaignDay|FleetCampaign|MeasureStandardCold|CollectorThroughput' -benchtime 1x . | $(GO) run ./cmd/benchjson -o '' -diff BENCH_campaign.json -gate BENCH_gates.json
 
 # Operational smoke of the fleet engine through the real CLI: run a
 # 2-cluster fleet sharded 2 ways, force a halt after the first cluster
@@ -83,9 +83,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBaselineDecode$$' -fuzztime $(FUZZTIME) ./internal/lint/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecDecode$$' -fuzztime $(FUZZTIME) ./internal/spec/
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzWireBatchDecode$$' -fuzztime $(FUZZTIME) ./internal/rs2hpm/
 
 # Every property test in the tree, under the race detector.
 property:
 	$(GO) test -run Property -race ./...
 
-ci: build vet test race lint lint-fixtures spec-validate fleet-smoke bench-gate
+# The collection-service soak suite under the race detector: wall-bounded
+# runs against healthy/flaky/dead/slow fleets, leak-checked and with the
+# sample ledger cross-footed exactly (internal/rs2hpm/loadtest).
+soak-smoke:
+	$(GO) test -race -run 'TestSoak' -count=1 ./internal/rs2hpm/loadtest/
+
+ci: build vet test race lint lint-fixtures spec-validate fleet-smoke soak-smoke bench-gate

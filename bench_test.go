@@ -25,6 +25,7 @@ import (
 	"repro/internal/pbs"
 	"repro/internal/power2"
 	"repro/internal/profile"
+	"repro/internal/rs2hpm/loadtest"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -394,6 +395,48 @@ func BenchmarkMeasureStandard(b *testing.B) {
 func BenchmarkMeasureStandardCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		profile.MeasureStandardStore(nil, uint64(i)+1, 1)
+	}
+}
+
+// BenchmarkCollectorThroughput measures the sustained collection service
+// end to end: a healthy in-process fleet (4 daemons x 8 nodes) swept by
+// the pooled, batched collector over loopback TCP, every sample landing
+// in the log through the bounded ingest queue. One iteration is eight
+// fleet-wide sweeps (8 x 32 node reads, so the single-pass `make bench`
+// timing averages away loopback jitter); the samples/s and wire bytes/s
+// metrics are the service's sustained rate, and the ledger still has to
+// cross-foot exactly at the end. Gated in BENCH_gates.json.
+func BenchmarkCollectorThroughput(b *testing.B) {
+	h, err := loadtest.New(loadtest.Spec{
+		Healthy: 4, NodesPerDaemon: 8,
+		Collectors: 4, Batch: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	// Wire volume comes from the process-wide client byte counters, so
+	// measure deltas across the timed region.
+	rx := telemetry.Default.Counter("rs2hpm.client.bytes_rx")
+	tx := telemetry.Default.Counter("rs2hpm.client.bytes_tx")
+	rx0, tx0 := rx.Value(), tx.Value()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 8; s++ {
+			if err := h.Sweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	wire := float64(rx.Value() - rx0 + tx.Value() - tx0)
+	h.Close()
+	if err := h.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(h.Ledger().Captured)/secs, "samples/s")
+		b.ReportMetric(wire/secs, "bytes/s")
 	}
 }
 

@@ -1,18 +1,23 @@
 // Command rs2hpm is the counter-sampling client: it dials an rs2hpmd
 // daemon, lists the nodes it serves, and prints either raw counter totals
 // or — with -watch — the rates over a sampling interval, reduced exactly
-// as the paper's tables reduce them.
+// as the paper's tables reduce them. With -collect it instead runs the
+// sustained collection service: pooled connections, batched MGET sweeps,
+// and a bounded ingestion queue, against one daemon or a whole fleet.
 //
 // Usage:
 //
 //	rs2hpm -addr 127.0.0.1:7117            # raw totals per node
 //	rs2hpm -addr 127.0.0.1:7117 -watch 5s  # rates over a 5-second window
+//	rs2hpm -addrs host1:7117,host2:7117 -collect 1m -every 2s
+//	       [-pool-size 2] [-batch] [-queue-depth 256] [-queue-policy block]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/hpm"
@@ -22,7 +27,32 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "daemon address")
 	watch := flag.Duration("watch", 0, "sample twice this far apart and print rates")
+	collect := flag.Duration("collect", 0, "run the sustained collection service this long (0 disables)")
+	every := flag.Duration("every", time.Second, "sweep interval in collect mode")
+	addrs := flag.String("addrs", "", "comma-separated daemon addresses for collect mode (default: -addr)")
+	poolSize := flag.Int("pool-size", 2, "idle connections kept per daemon in collect mode")
+	batch := flag.Bool("batch", true, "use the batched MGET command against daemons that speak protocol v2")
+	queueDepth := flag.Int("queue-depth", 256, "bounded ingestion queue depth in collect mode")
+	queuePolicy := flag.String("queue-policy", "block", "full-queue policy in collect mode: block (lossless) or drop (gap-marked)")
+	collectors := flag.Int("collectors", 0, "concurrent collector goroutines in collect mode (0 = one per daemon, capped at 4)")
+	retries := flag.Int("retries", 2, "per-read retry budget in collect mode")
 	flag.Parse()
+
+	if *collect > 0 {
+		runCollect(collectSettings{
+			addrs:      *addrs,
+			fallback:   *addr,
+			duration:   *collect,
+			every:      *every,
+			poolSize:   *poolSize,
+			batch:      *batch,
+			queueDepth: *queueDepth,
+			policy:     *queuePolicy,
+			collectors: *collectors,
+			retries:    *retries,
+		})
+		return
+	}
 
 	client, err := rs2hpm.Dial(*addr)
 	if err != nil {
@@ -68,6 +98,95 @@ func main() {
 			"cache %.3f M/s  tlb %.4f M/s  sys/user-fxu %.2f\n",
 			id, r.MflopsAll, r.Mips, r.FMAFraction(), r.FPUAsymmetry(),
 			r.DCacheMissM, r.TLBMissM, hpm.SystemUserFXURatio(d))
+	}
+}
+
+// collectSettings carries the -collect mode flags.
+type collectSettings struct {
+	addrs      string
+	fallback   string
+	duration   time.Duration
+	every      time.Duration
+	poolSize   int
+	batch      bool
+	queueDepth int
+	policy     string
+	collectors int
+	retries    int
+}
+
+// runCollect is the sustained-collection entry point: the in-process
+// equivalent of the paper's 10-minute cron sweep, run continuously with
+// pooled connections and batched reads, then accounted for exactly.
+func runCollect(s collectSettings) {
+	if s.addrs == "" {
+		s.addrs = s.fallback
+	}
+	var list []string
+	for _, a := range strings.Split(s.addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			list = append(list, a)
+		}
+	}
+	var policy rs2hpm.BackpressurePolicy
+	switch s.policy {
+	case "block":
+		policy = rs2hpm.BlockOnFull
+	case "drop":
+		policy = rs2hpm.DropWithGap
+	default:
+		fail(fmt.Errorf("-queue-policy must be block or drop, got %q", s.policy))
+	}
+
+	log := rs2hpm.NewSampleLog()
+	svc, err := rs2hpm.NewService(rs2hpm.ServiceConfig{
+		Addrs:      list,
+		Collectors: s.collectors,
+		Batch:      s.batch,
+		Retries:    s.retries,
+		Pool:       rs2hpm.PoolConfig{Size: s.poolSize, HealthCheck: true},
+		Queue:      rs2hpm.IngestConfig{Depth: s.queueDepth, Policy: policy},
+	}, log)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("rs2hpm: collecting from %d daemon(s) every %v for %v (batch=%v pool=%d queue=%d/%s)\n",
+		len(list), s.every, s.duration, s.batch, s.poolSize, s.queueDepth, policy)
+
+	start := time.Now()
+	ticker := time.NewTicker(s.every)
+	defer ticker.Stop()
+	deadline := time.NewTimer(s.duration)
+	defer deadline.Stop()
+sweeps:
+	for {
+		if err := svc.SweepOnce(time.Since(start).Seconds()); err != nil {
+			// Daemon-level failures are accounted, not fatal: the service
+			// keeps sweeping the rest of the fleet.
+			fmt.Fprintf(os.Stderr, "rs2hpm: %v\n", err)
+		}
+		select {
+		case <-ticker.C:
+		case <-deadline.C:
+			break sweeps
+		}
+	}
+	svc.Close()
+
+	l := svc.Ledger()
+	fmt.Printf("rs2hpm: %d sweeps, %d daemon-sweeps, %d sweep failures\n",
+		l.Sweeps, l.DaemonSweeps, l.SweepFailures)
+	fmt.Printf("rs2hpm: offered %d reads: captured %d, gapped %d, dropped %d, rejected %d (gap rate %.4f)\n",
+		l.Offered, l.Captured, l.Gapped, l.Dropped, l.Rejected, l.GapRate())
+	if err := l.CrossFoot(); err != nil {
+		fail(err)
+	}
+	for _, id := range log.Nodes() {
+		if d, secs, ok := log.DeltaOver(id, 0, time.Since(start).Seconds()); ok && secs > 0 {
+			r := hpm.UserRates(d, secs)
+			fmt.Printf("node %3d: %3d samples over %6.1fs  %7.2f Mflops  %7.2f Mips\n",
+				id, log.Len(id), secs, r.MflopsAll, r.Mips)
+		}
 	}
 }
 

@@ -40,6 +40,8 @@ func main() {
 	flaky := flag.Float64("flaky", 0, "probability a counter read fails transiently (0 disables; exercises client retry paths)")
 	flakySeed := flag.Uint64("flaky-seed", 1, "seed for the deterministic read-failure stream")
 	httpAddr := flag.String("http", "", "serve telemetry over HTTP here (/metrics and /debug/hpmvars; empty disables)")
+	protocol := flag.Int("protocol", rs2hpm.LatestProtocol,
+		"wire protocol version to speak (1 = single-GET only, 2 = adds VERSION/MGET; lets a fleet stage mixed-version rollouts)")
 	flag.Parse()
 
 	k, ok := kernels.ByName(*kernel)
@@ -47,10 +49,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rs2hpmd: unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
+	if *protocol < rs2hpm.ProtocolV1 || *protocol > rs2hpm.LatestProtocol {
+		fmt.Fprintf(os.Stderr, "rs2hpmd: -protocol must be between %d and %d\n",
+			rs2hpm.ProtocolV1, rs2hpm.LatestProtocol)
+		os.Exit(2)
+	}
 
 	nodes := make([]*node.Node, *nNodes)
 	streams := make([]isa.Stream, *nNodes)
-	daemon := rs2hpm.NewDaemon()
+	daemon := rs2hpm.NewDaemonProtocol(*protocol)
 	for i := range nodes {
 		nodes[i] = node.New(node.Config{ID: i})
 		streams[i] = k.New(uint64(i) + 1)
@@ -66,7 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rs2hpmd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("rs2hpmd: serving %d nodes running %q on %s\n", *nNodes, k.Name, bound)
+	fmt.Printf("rs2hpmd: serving %d nodes running %q on %s (protocol v%d)\n", *nNodes, k.Name, bound, *protocol)
 
 	telemetry.Default.Gauge("rs2hpmd.nodes").Set(int64(*nNodes))
 	telTicks := telemetry.Default.Counter("rs2hpmd.ticks")

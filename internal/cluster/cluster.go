@@ -28,10 +28,11 @@ type Config struct {
 
 // Cluster is an assembled machine.
 type Cluster struct {
-	nodes  []*node.Node
-	net    *hps.Network
-	daemon *rs2hpm.Daemon
-	homes  *nfs.Mount
+	nodes   []*node.Node
+	net     *hps.Network
+	daemon  *rs2hpm.Daemon
+	hpmAddr string // bound address while daemon is serving, else ""
+	homes   *nfs.Mount
 }
 
 // New builds the cluster and attaches every node to the switch.
@@ -99,13 +100,19 @@ func (c *Cluster) ServeHPM(addr string) (string, error) {
 		return "", err
 	}
 	c.daemon = d
+	c.hpmAddr = bound
 	return bound, nil
 }
+
+// HPMAddr reports the daemon's bound address, or "" when not serving —
+// the handle collection services use to find this cluster on the wire.
+func (c *Cluster) HPMAddr() string { return c.hpmAddr }
 
 // Close stops the daemon if one is serving.
 func (c *Cluster) Close() {
 	if c.daemon != nil {
 		c.daemon.Close()
 		c.daemon = nil
+		c.hpmAddr = ""
 	}
 }

@@ -7,7 +7,11 @@ package cluster
 // wanting decorrelated members derive per-cluster CPU seeds themselves
 // (workload.ClusterSeed is the campaign layer's derivation).
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/rs2hpm"
+)
 
 // Fleet is an assembled multi-cluster machine.
 type Fleet struct {
@@ -62,6 +66,25 @@ func (f *Fleet) ServeHPM(addr string) ([]string, error) {
 		bound = append(bound, b)
 	}
 	return bound, nil
+}
+
+// CollectionService builds a sustained collection service over every
+// member's serving daemon, appending into log. The config's address list
+// is filled from the fleet — callers tune pooling, batching and the
+// ingestion queue, not addressing. Every member must be serving (see
+// ServeHPM); the caller owns the returned service's lifecycle and the
+// fleet's daemons stay up when it closes.
+func (f *Fleet) CollectionService(cfg rs2hpm.ServiceConfig, log *rs2hpm.SampleLog) (*rs2hpm.Service, error) {
+	addrs := make([]string, 0, len(f.members))
+	for i, c := range f.members {
+		a := c.HPMAddr()
+		if a == "" {
+			return nil, fmt.Errorf("cluster: fleet member %d is not serving HPM (call ServeHPM first)", i)
+		}
+		addrs = append(addrs, a)
+	}
+	cfg.Addrs = addrs
+	return rs2hpm.NewService(cfg, log)
 }
 
 // Close stops every member's daemon.

@@ -41,6 +41,53 @@ func TestFleetPanics(t *testing.T) {
 	}
 }
 
+// TestFleetCollectionService: the fleet's daemons, swept by the pooled
+// batched collection service instead of hand-rolled per-member dials —
+// every node of every member lands in one log, exactly accounted.
+func TestFleetCollectionService(t *testing.T) {
+	f := NewFleet(Config{Nodes: 2}, Config{Nodes: 3})
+	defer f.Close()
+
+	// Before ServeHPM the service must refuse to build.
+	if _, err := f.CollectionService(rs2hpm.ServiceConfig{}, rs2hpm.NewSampleLog()); err == nil {
+		t.Fatal("CollectionService built against a non-serving fleet")
+	}
+	if _, err := f.ServeHPM("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	log := rs2hpm.NewSampleLog()
+	svc, err := f.CollectionService(rs2hpm.ServiceConfig{Batch: true}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sweeps = 3
+	for i := 0; i < sweeps; i++ {
+		if err := svc.SweepOnce(float64(i)); err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+	}
+	svc.Close()
+
+	l := svc.Ledger()
+	if err := l.CrossFoot(); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(sweeps * f.Size()); l.Captured != want || l.Offered != want {
+		t.Fatalf("captured %d of %d offered, want %d (sweeps x fleet nodes)", l.Captured, l.Offered, want)
+	}
+	// Node IDs repeat across members (each cluster numbers from 0), so the
+	// log keys hold the union; every member's node 0 contributed.
+	if got := log.Len(0); got != sweeps*f.Clusters() {
+		t.Fatalf("node 0 samples = %d, want %d (each member has a node 0)", got, sweeps*f.Clusters())
+	}
+	// The fleet's daemons survive the service's Close.
+	cl, err := rs2hpm.Dial(f.Cluster(0).HPMAddr())
+	if err != nil {
+		t.Fatalf("daemon gone after service close: %v", err)
+	}
+	cl.Close()
+}
+
 func TestFleetServeHPM(t *testing.T) {
 	f := NewFleet(Config{Nodes: 2}, Config{Nodes: 2})
 	defer f.Close()

@@ -1,0 +1,296 @@
+package rs2hpm
+
+// Table-driven tests for the batched wire command (MGET) and its version
+// negotiation: v2 batches, v1 fallback, partial-batch failure, ERR
+// propagation, and 32-bit wrap correction across a batch boundary.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hpm"
+)
+
+// failingSource always errors — the dead kernel extension, batch-side.
+type failingSource struct{ id int }
+
+func (f failingSource) NodeID() int            { return f.id }
+func (f failingSource) Counters() hpm.Counts64 { return hpm.Counts64{} }
+func (f failingSource) TryCounters() (hpm.Counts64, error) {
+	return hpm.Counts64{}, errors.New("injected permanent failure")
+}
+
+func TestBatchCounters(t *testing.T) {
+	cases := []struct {
+		name     string
+		protocol int
+		sources  func() []Source
+		ids      []int
+		// wantErr[i] true means entry i must carry a per-node error.
+		wantErr      []bool
+		wantVersion  int
+		wantFallback bool // the client must have downgraded to v1
+	}{
+		{
+			name:     "v2-all-healthy",
+			protocol: ProtocolV2,
+			sources: func() []Source {
+				return []Source{newFakeSource(0), newFakeSource(1), newFakeSource(2)}
+			},
+			ids:         []int{0, 1, 2},
+			wantErr:     []bool{false, false, false},
+			wantVersion: ProtocolV2,
+		},
+		{
+			name:     "v1-daemon-falls-back-to-single-get",
+			protocol: ProtocolV1,
+			sources: func() []Source {
+				return []Source{newFakeSource(0), newFakeSource(1)}
+			},
+			ids:          []int{0, 1},
+			wantErr:      []bool{false, false},
+			wantVersion:  ProtocolV1,
+			wantFallback: true,
+		},
+		{
+			name:     "v2-partial-batch-failure",
+			protocol: ProtocolV2,
+			sources: func() []Source {
+				return []Source{newFakeSource(0), failingSource{id: 1}, newFakeSource(2)}
+			},
+			ids:         []int{0, 1, 2},
+			wantErr:     []bool{false, true, false},
+			wantVersion: ProtocolV2,
+		},
+		{
+			name:     "v1-partial-failure-propagates-too",
+			protocol: ProtocolV1,
+			sources: func() []Source {
+				return []Source{newFakeSource(0), failingSource{id: 1}}
+			},
+			ids:          []int{0, 1},
+			wantErr:      []bool{false, true},
+			wantVersion:  ProtocolV1,
+			wantFallback: true,
+		},
+		{
+			name:     "v2-unknown-node-is-per-entry-err",
+			protocol: ProtocolV2,
+			sources: func() []Source {
+				return []Source{newFakeSource(0)}
+			},
+			ids:         []int{0, 42},
+			wantErr:     []bool{false, true},
+			wantVersion: ProtocolV2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srcs := tc.sources()
+			d := NewDaemonProtocol(tc.protocol, srcs...)
+			addr, err := d.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			entries, err := c.BatchCounters(tc.ids)
+			if err != nil {
+				t.Fatalf("BatchCounters: %v", err)
+			}
+			if len(entries) != len(tc.ids) {
+				t.Fatalf("got %d entries for %d requested nodes", len(entries), len(tc.ids))
+			}
+			for i, e := range entries {
+				if e.Node != tc.ids[i] {
+					t.Errorf("entry %d answers node %d, requested %d", i, e.Node, tc.ids[i])
+				}
+				if (e.Err != nil) != tc.wantErr[i] {
+					t.Errorf("entry %d err = %v, want failure=%v", i, e.Err, tc.wantErr[i])
+				}
+			}
+			// The connection is still usable after any mix of outcomes.
+			if _, err := c.Nodes(); err != nil {
+				t.Fatalf("connection unusable after batch: %v", err)
+			}
+			// Negotiation: the client learned the daemon's version.
+			v, err := c.ServerVersion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != tc.wantVersion {
+				t.Errorf("negotiated version %d, want %d", v, tc.wantVersion)
+			}
+			if tc.wantFallback != (c.proto == ProtocolV1) {
+				t.Errorf("client proto = %d, fallback expected %v", c.proto, tc.wantFallback)
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSingleGet: for healthy sources the batched read and the
+// single-GET read return identical snapshots — one wire format, one truth.
+func TestBatchMatchesSingleGet(t *testing.T) {
+	a, b := newFakeSource(0), newFakeSource(1)
+	a.add(hpm.EvCycles, 1234)
+	b.add(hpm.EvFXU0Instr, 999)
+	_, addr := startDaemon(t, a, b)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	entries, err := c.BatchCounters([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		single, err := c.Counters(e.Node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != e.Snap {
+			t.Errorf("node %d: batch snapshot differs from single-GET", e.Node)
+		}
+	}
+}
+
+// wrapSource feeds a 32-bit monitor through the daemon-side accumulator,
+// exactly as node.Node does — the wrap correction under test.
+type wrapSource struct {
+	id  int
+	mu  sync.Mutex
+	mon *hpm.Monitor
+	acc *hpm.Accumulator
+}
+
+func newWrapSource(id int) *wrapSource {
+	mon := hpm.New()
+	return &wrapSource{id: id, mon: mon, acc: hpm.NewAccumulator(mon)}
+}
+
+func (w *wrapSource) NodeID() int { return w.id }
+func (w *wrapSource) Counters() hpm.Counts64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.acc.Sample()
+	return w.acc.Totals()
+}
+func (w *wrapSource) add(ev hpm.Event, n uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mon.Add(ev, n)
+}
+
+// TestBatchWrapCorrectAcrossBatchBoundary: the 32-bit hardware counter
+// wraps between two batched sweeps; the extended totals crossing the
+// wire must be wrap-corrected so the log's delta is exact. This is the
+// same guarantee the single-GET path has always had, asserted through
+// MGET framing.
+func TestBatchWrapCorrectAcrossBatchBoundary(t *testing.T) {
+	src := newWrapSource(7)
+	_, addr := startDaemon(t, src)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	log := NewSampleLog()
+
+	sample := func(at float64) {
+		t.Helper()
+		entries, err := c.BatchCounters([]int{7})
+		if err != nil || len(entries) != 1 || entries[0].Err != nil {
+			t.Fatalf("batch at %v: entries=%v err=%v", at, entries, err)
+		}
+		if err := log.Add(Sample{AtSeconds: at, Node: 7, Snap: entries[0].Snap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src.add(hpm.EvCycles, math.MaxUint32-50)
+	sample(0)
+	src.add(hpm.EvCycles, 100) // wraps the 32-bit register between batches
+	sample(900)
+	src.add(hpm.EvCycles, math.MaxUint32) // nearly a full second lap
+	sample(1800)
+
+	d, _, ok := log.DeltaOver(7, 0, 1800)
+	if !ok {
+		t.Fatal("no usable window")
+	}
+	if got, want := d.Get(hpm.User, hpm.EvCycles), uint64(100)+math.MaxUint32; got != want {
+		t.Fatalf("wrap-corrected delta across batch boundary = %d, want %d", got, want)
+	}
+}
+
+// TestBatchRawWireErrors: malformed MGET requests get top-level ERRs and
+// the connection survives.
+func TestBatchRawWireErrors(t *testing.T) {
+	_, addr := startDaemon(t, newFakeSource(0))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, raw := range []string{"MGET\n", "MGET abc\n"} {
+		if _, err := c.conn.Write([]byte(raw)); err != nil {
+			t.Fatal(err)
+		}
+		c.sc.Scan()
+		if !strings.HasPrefix(c.sc.Text(), "ERR") {
+			t.Fatalf("%q got %q, want ERR", strings.TrimSpace(raw), c.sc.Text())
+		}
+	}
+	// MGET * answers every served node.
+	if _, err := c.conn.Write([]byte("MGET *\n")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := decodeBatch(c.sc, []int{0})
+	if err != nil || len(entries) != 1 || entries[0].Node != 0 || entries[0].Err != nil {
+		t.Fatalf("MGET * entries=%v err=%v", entries, err)
+	}
+}
+
+// TestVersionCommand: the VERSION probe across daemon versions, raw.
+func TestVersionCommand(t *testing.T) {
+	cases := []struct {
+		protocol int
+		want     int
+	}{
+		{ProtocolV1, ProtocolV1},
+		{ProtocolV2, ProtocolV2},
+	}
+	for _, tc := range cases {
+		d := NewDaemonProtocol(tc.protocol, newFakeSource(0))
+		addr, err := d.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.ServerVersion()
+		if err != nil {
+			t.Fatalf("protocol %d: %v", tc.protocol, err)
+		}
+		if v != tc.want {
+			t.Errorf("protocol %d negotiated as %d", tc.protocol, v)
+		}
+		// Cached: a second probe answers without a round-trip.
+		if v2, _ := c.ServerVersion(); v2 != v {
+			t.Errorf("cached version %d != probed %d", v2, v)
+		}
+		c.Close()
+		d.Close()
+	}
+}

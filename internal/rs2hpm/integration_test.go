@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hpm"
 	"repro/internal/kernels"
+	"repro/internal/leakcheck"
 	"repro/internal/node"
 	"repro/internal/telemetry"
 )
@@ -35,6 +36,12 @@ func (a alwaysFails) TryCounters() (hpm.Counts64, error) {
 }
 
 func TestIntegrationCollectorAgainstFlakyDaemon(t *testing.T) {
+	// Bracket the whole test: daemon, web server, and every per-sweep
+	// dial must be returned by the deferred Closes below. Registered
+	// first so it runs after them.
+	before := leakcheck.Take()
+	defer leakcheck.Check(t, before)
+
 	k, ok := kernels.ByName("cfd")
 	if !ok {
 		t.Fatal("cfd kernel missing")

@@ -1,0 +1,140 @@
+package rs2hpm
+
+// Property test for the ingestion queue's accounting invariant. Under any
+// randomized schedule — depth, policy, drain throttle, producer count,
+// and a sprinkle of out-of-order stamps, all drawn from a seeded stream —
+// the ledger must cross-foot exactly:
+//
+//	offered  == enqueued + dropped
+//	enqueued == captured + rejected     (after Close)
+//
+// and every dropped or rejected sample leaves exactly one gap mark in the
+// log, so the log reconciles against the counters with no slack. Run via
+// `make property` (go test -run Property -race).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hpm"
+	"repro/internal/rng"
+)
+
+func TestPropertyIngestAccounting(t *testing.T) {
+	const trials = 16
+	for trial := 0; trial < trials; trial++ {
+		t.Run(fmt.Sprintf("trial-%02d", trial), func(t *testing.T) {
+			r := rng.Stream(0xB0BCAFE, uint64(trial))
+
+			cfg := IngestConfig{Depth: r.IntRange(1, 8)}
+			if r.Bool(0.5) {
+				cfg.Policy = DropWithGap
+			}
+			if r.Bool(0.5) {
+				// Throttle the drain so shallow queues actually fill.
+				cfg.SinkDelay = time.Duration(r.IntRange(1, 200)) * time.Microsecond
+			}
+			log := NewSampleLog()
+			q := NewIngestQueue(log, cfg)
+
+			// Producers share disjoint node sets, so each node's stamps
+			// come from one goroutine and disorder is injected, not raced.
+			producers := r.IntRange(1, 4)
+			nodesEach := r.IntRange(1, 3)
+			steps := r.IntRange(40, 250)
+			disorderP := r.Range(0, 0.2)
+
+			var offered, disordered int
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					pr := rng.Stream(0xB0BCAFE, uint64(trial)<<8|uint64(p))
+					clock := make([]float64, nodesEach)
+					myOffered, myDisordered := 0, 0
+					for i := 0; i < steps; i++ {
+						n := pr.Intn(nodesEach)
+						node := p*nodesEach + n
+						var at float64
+						if clock[n] > 1 && pr.Bool(disorderP) {
+							// Deliberately step backwards: the log must
+							// refuse this sample if it drains in order.
+							at = clock[n] - 1
+							myDisordered++
+						} else {
+							clock[n]++
+							at = clock[n]
+						}
+						q.Offer(Sample{AtSeconds: at, Node: node, Snap: hpm.Counts64{}})
+						myOffered++
+					}
+					mu.Lock()
+					offered += myOffered
+					disordered += myDisordered
+					mu.Unlock()
+				}(p)
+			}
+			wg.Wait() // producers stop first: the Close contract
+			q.Close()
+
+			st := q.Stats()
+			if st.Offered != uint64(offered) {
+				t.Fatalf("queue counted %d offered, driver offered %d", st.Offered, offered)
+			}
+			if st.Offered != st.Enqueued+st.Dropped {
+				t.Fatalf("offered %d != enqueued %d + dropped %d", st.Offered, st.Enqueued, st.Dropped)
+			}
+			if st.Enqueued != st.Captured+st.Rejected {
+				t.Fatalf("enqueued %d != captured %d + rejected %d after Close", st.Enqueued, st.Captured, st.Rejected)
+			}
+			if cfg.Policy == BlockOnFull && st.Dropped != 0 {
+				t.Fatalf("blocking queue dropped %d samples", st.Dropped)
+			}
+			// Log reconciliation: captured samples all landed, and every
+			// drop/rejection left exactly one gap mark.
+			if got := log.TotalSamples(); uint64(got) != st.Captured {
+				t.Fatalf("log holds %d samples, queue captured %d", got, st.Captured)
+			}
+			if got := log.GapCount(); uint64(got) != st.Dropped+st.Rejected {
+				t.Fatalf("log holds %d gap marks, queue dropped %d + rejected %d",
+					got, st.Dropped, st.Rejected)
+			}
+			// A disordered offer is rejected only if it survives to the
+			// drain, so rejected <= disordered; but nothing else may be.
+			if st.Rejected > uint64(disordered) {
+				t.Fatalf("rejected %d samples but only %d were offered out of order", st.Rejected, disordered)
+			}
+			t.Logf("depth=%d policy=%s delay=%v producers=%d: %+v (disordered %d)",
+				cfg.Depth, cfg.Policy, cfg.SinkDelay, producers, st, disordered)
+		})
+	}
+}
+
+// TestPropertyIngestOfferAfterClose: the shutdown edge of the invariant —
+// a producer that outlives Close gets refused, counted, and gap-marked,
+// never wedged and never silently lost.
+func TestPropertyIngestOfferAfterClose(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		r := rng.Stream(0xDEADD0, uint64(trial))
+		log := NewSampleLog()
+		q := NewIngestQueue(log, IngestConfig{Depth: r.IntRange(1, 4)})
+		q.Close()
+		late := r.IntRange(1, 20)
+		for i := 0; i < late; i++ {
+			if q.Offer(Sample{AtSeconds: float64(i), Node: 0}) {
+				t.Fatal("closed queue accepted a sample")
+			}
+		}
+		st := q.Stats()
+		if st.Dropped != uint64(late) || st.Captured != 0 {
+			t.Fatalf("late offers: %+v, want %d dropped", st, late)
+		}
+		if got := log.GapCount(); got != late {
+			t.Fatalf("%d late offers left %d gap marks", late, got)
+		}
+	}
+}

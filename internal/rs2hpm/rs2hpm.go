@@ -52,20 +52,43 @@ type TrySource interface {
 	TryCounters() (hpm.Counts64, error)
 }
 
+// Wire protocol versions. Version 1 is the original single-GET line
+// protocol (NODES/COUNTERS/ARM/QUIT); version 2 adds VERSION and the
+// batched MGET command. A v2 daemon still speaks every v1 command, and a
+// v2 client falls back to single-GET sweeps against a v1 daemon.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// LatestProtocol is what NewDaemon serves.
+	LatestProtocol = ProtocolV2
+)
+
 // Daemon serves counter snapshots for a set of nodes over TCP. One daemon
 // can front many simulated nodes (the real deployment ran one per host;
 // serving many keeps tests cheap without changing the protocol).
 type Daemon struct {
-	mu      sync.Mutex
-	sources map[int]Source // guarded by mu
-	ln      net.Listener   // guarded by mu
-	wg      sync.WaitGroup
-	closed  bool // guarded by mu
+	protocol int // immutable after construction
+	mu       sync.Mutex
+	sources  map[int]Source // guarded by mu
+	ln       net.Listener   // guarded by mu
+	wg       sync.WaitGroup
+	closed   bool // guarded by mu
 }
 
-// NewDaemon builds a daemon fronting the given sources.
+// NewDaemon builds a daemon fronting the given sources, speaking the
+// latest wire protocol.
 func NewDaemon(sources ...Source) *Daemon {
-	d := &Daemon{sources: make(map[int]Source, len(sources))}
+	return NewDaemonProtocol(LatestProtocol, sources...)
+}
+
+// NewDaemonProtocol builds a daemon pinned to an older wire protocol
+// version — the knob mixed-version fleets (and their tests) use to stand
+// up daemons that predate batched collection.
+func NewDaemonProtocol(protocol int, sources ...Source) *Daemon {
+	if protocol < ProtocolV1 || protocol > LatestProtocol {
+		panic(fmt.Sprintf("rs2hpm: unknown protocol version %d", protocol))
+	}
+	d := &Daemon{protocol: protocol, sources: make(map[int]Source, len(sources))}
 	for _, s := range sources {
 		//hpmlint:ignore guarded construction precedes publication; no other goroutine can hold d yet
 		d.sources[s.NodeID()] = s
@@ -143,6 +166,20 @@ func (d *Daemon) serve(conn net.Conn) {
 				break
 			}
 			d.arm(w, fields[1], fields[2])
+		case "VERSION":
+			if d.protocol < ProtocolV2 {
+				// A v1 daemon predates VERSION; the client reads the
+				// unknown-command ERR as "version 1".
+				errf(w, "ERR unknown command %q\n", fields[0])
+				break
+			}
+			fmt.Fprintf(w, "OK RS2HPM %d\n", d.protocol)
+		case "MGET":
+			if d.protocol < ProtocolV2 {
+				errf(w, "ERR unknown command %q\n", fields[0])
+				break
+			}
+			d.writeBatch(w, fields[1:])
 		case "QUIT":
 			w.Flush()
 			return
@@ -161,7 +198,8 @@ func errf(w *bufio.Writer, format string, args ...any) {
 	fmt.Fprintf(w, format, args...)
 }
 
-func (d *Daemon) writeNodes(w *bufio.Writer) {
+// nodeIDs lists the served node IDs in ascending order.
+func (d *Daemon) nodeIDs() []int {
 	d.mu.Lock()
 	ids := make([]int, 0, len(d.sources))
 	for id := range d.sources {
@@ -169,38 +207,55 @@ func (d *Daemon) writeNodes(w *bufio.Writer) {
 	}
 	d.mu.Unlock()
 	sort.Ints(ids)
-	for _, id := range ids {
+	return ids
+}
+
+func (d *Daemon) writeNodes(w *bufio.Writer) {
+	for _, id := range d.nodeIDs() {
 		fmt.Fprintf(w, "NODE %d\n", id)
 	}
 	fmt.Fprintf(w, "END\n")
 }
 
-func (d *Daemon) writeCounters(w *bufio.Writer, id int) {
+// readNode resolves one node's extended totals, preferring the fallible
+// read when the source supports it. Shared by the single-GET and batched
+// paths so both report identical failures.
+func (d *Daemon) readNode(id int) (hpm.Counts64, error) {
 	d.mu.Lock()
 	src, ok := d.sources[id]
 	d.mu.Unlock()
 	if !ok {
-		errf(w, "ERR no such node %d\n", id)
+		return hpm.Counts64{}, fmt.Errorf("no such node %d", id)
+	}
+	if ts, ok := src.(TrySource); ok {
+		return ts.TryCounters()
+	}
+	return src.Counters(), nil
+}
+
+func (d *Daemon) writeCounters(w *bufio.Writer, id int) {
+	totals, err := d.readNode(id)
+	if err != nil {
+		if strings.HasPrefix(err.Error(), "no such node") {
+			errf(w, "ERR %v\n", err)
+		} else {
+			errf(w, "ERR read node %d: %v\n", id, err)
+		}
 		return
 	}
-	var totals hpm.Counts64
-	if ts, ok := src.(TrySource); ok {
-		var err error
-		if totals, err = ts.TryCounters(); err != nil {
-			errf(w, "ERR read node %d: %v\n", id, err)
-			return
-		}
-	} else {
-		totals = src.Counters()
-	}
 	fmt.Fprintf(w, "OK %d\n", id)
+	writeCounterLines(w, totals)
+	fmt.Fprintf(w, "END\n")
+}
+
+// writeCounterLines emits the per-event C lines of one snapshot.
+func writeCounterLines(w *bufio.Writer, totals hpm.Counts64) {
 	for ev := hpm.Event(0); ev < hpm.NumEvents; ev++ {
 		info := hpm.Info(ev)
 		fmt.Fprintf(w, "C %d %s.%d %s %d %d\n",
 			ev, info.Group, info.Index, info.Label,
 			totals.Get(hpm.User, ev), totals.Get(hpm.System, ev))
 	}
-	fmt.Fprintf(w, "END\n")
 }
 
 // arm re-programs one node's (or every node's, for "*") counter selection.
@@ -255,9 +310,11 @@ func (d *Daemon) Close() {
 
 // Client speaks the daemon protocol over one TCP connection.
 type Client struct {
-	conn net.Conn
-	sc   *bufio.Scanner
-	w    *bufio.Writer
+	addr  string
+	conn  net.Conn
+	sc    *bufio.Scanner
+	w     *bufio.Writer
+	proto int // 0 until negotiated; then the daemon's wire version
 }
 
 // Dial connects to a daemon.
@@ -268,11 +325,15 @@ func Dial(addr string) (*Client, error) {
 	}
 	telClientDials.Inc()
 	return &Client{
+		addr: addr,
 		conn: conn,
 		sc:   bufio.NewScanner(countingReader{conn, telClientBytesRx}),
 		w:    bufio.NewWriter(countingWriter{conn, telClientBytesTx}),
 	}, nil
 }
+
+// Addr reports the daemon address this client dialed.
+func (c *Client) Addr() string { return c.addr }
 
 // Close terminates the session.
 func (c *Client) Close() error {
@@ -330,20 +391,29 @@ func (c *Client) Counters(id int) (hpm.Counts64, error) {
 		if line == "END" {
 			return snap, nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 6 || fields[0] != "C" {
-			return snap, fmt.Errorf("%w: bad counter line %q", errProtocol, line)
+		if err := parseCounterLine(line, &snap); err != nil {
+			return snap, err
 		}
-		ev, err1 := strconv.Atoi(fields[1])
-		user, err2 := strconv.ParseUint(fields[4], 10, 64)
-		sys, err3 := strconv.ParseUint(fields[5], 10, 64)
-		if err1 != nil || err2 != nil || err3 != nil || ev < 0 || ev >= int(hpm.NumEvents) {
-			return snap, fmt.Errorf("%w: bad counter line %q", errProtocol, line)
-		}
-		snap.Counts[hpm.User][ev] = user
-		snap.Counts[hpm.System][ev] = sys
 	}
 	return snap, fmt.Errorf("%w: connection closed mid-response", errProtocol)
+}
+
+// parseCounterLine decodes one "C <ev> <group.idx> <label> <user> <sys>"
+// line into the snapshot. Shared by the single-GET and batched decoders.
+func parseCounterLine(line string, snap *hpm.Counts64) error {
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "C" {
+		return fmt.Errorf("%w: bad counter line %q", errProtocol, line)
+	}
+	ev, err1 := strconv.Atoi(fields[1])
+	user, err2 := strconv.ParseUint(fields[4], 10, 64)
+	sys, err3 := strconv.ParseUint(fields[5], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || ev < 0 || ev >= int(hpm.NumEvents) {
+		return fmt.Errorf("%w: bad counter line %q", errProtocol, line)
+	}
+	snap.Counts[hpm.User][ev] = user
+	snap.Counts[hpm.System][ev] = sys
+	return nil
 }
 
 // Arm asks the daemon to re-program a node's counter selection; pass
@@ -453,6 +523,18 @@ func (l *SampleLog) Len(node int) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.samples[node])
+}
+
+// TotalSamples reports the samples held across all nodes — the "captured"
+// column of the collection ledger.
+func (l *SampleLog) TotalSamples() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ss := range l.samples {
+		n += len(ss)
+	}
+	return n
 }
 
 // Samples returns a copy of the samples for one node.

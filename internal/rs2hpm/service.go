@@ -1,0 +1,319 @@
+package rs2hpm
+
+// Service: the sustained-collection successor to the cron sweep. The
+// paper's collector was a script: dial, read every node, write a file,
+// exit, sleep ten minutes. A collection service keeping up with a fleet
+// holds its connections (CollectorPool), collects a full sample set per
+// round-trip (MGET, with single-GET fallback for old daemons), and
+// decouples the network side from the log with a bounded ingestion queue
+// (IngestQueue). The service's ledger accounts for every scheduled node
+// read exactly once:
+//
+//	offered == captured + gapped + dropped + rejected
+//
+// where gapped reads failed past the retry budget, dropped hit the
+// queue's backpressure bound, and rejected were refused by the log —
+// each of the three leaving a gap mark, so the log's gap count
+// cross-foots too. Daemons that cannot even report their node list are
+// counted as whole-sweep failures rather than inventing per-node rows.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hpm"
+)
+
+// ServiceConfig configures a collection Service. Addrs is required;
+// everything else has serviceable defaults.
+type ServiceConfig struct {
+	// Addrs are the daemon addresses the service sweeps.
+	Addrs []string
+	// Collectors is the number of concurrent sweep workers fanning over
+	// Addrs; zero selects min(len(Addrs), 4).
+	Collectors int
+	// Batch collects each daemon with one MGET round-trip per sweep,
+	// falling back per-daemon to single-GET against v1 daemons. Off, the
+	// service sweeps node by node like the original collector.
+	Batch bool
+	// Retries is the per-node read retry budget within a sweep (after a
+	// batched read, failed nodes are retried individually).
+	Retries int
+	// Backoff, when non-nil, runs before read-retry attempt k (1-based).
+	Backoff func(attempt int)
+	// Pool tunes the connection pool. Pool.Retries/Backoff default to the
+	// service's Retries/Backoff when unset.
+	Pool PoolConfig
+	// Queue tunes the ingestion queue.
+	Queue IngestConfig
+}
+
+// ServiceLedger is the exact sample accounting of a service's lifetime.
+type ServiceLedger struct {
+	Sweeps        uint64 // SweepOnce calls
+	DaemonSweeps  uint64 // per-daemon sweep attempts
+	SweepFailures uint64 // daemon sweeps that failed before the node list was known
+	Offered       uint64 // scheduled node reads (nodes listed x sweeps reaching them)
+	Captured      uint64 // samples landed in the log
+	Gapped        uint64 // reads failed past the retry budget, gap-marked
+	Dropped       uint64 // samples lost to queue backpressure, gap-marked
+	Rejected      uint64 // samples the log refused (out-of-order), gap-marked
+}
+
+// CrossFoot verifies the ledger balances: every scheduled read is
+// captured or explicitly gap-marked, never silently lost. Valid once the
+// service is closed.
+func (l ServiceLedger) CrossFoot() error {
+	if got := l.Captured + l.Gapped + l.Dropped + l.Rejected; got != l.Offered {
+		return fmt.Errorf("rs2hpm: ledger out of balance: captured %d + gapped %d + dropped %d + rejected %d = %d, offered %d",
+			l.Captured, l.Gapped, l.Dropped, l.Rejected, got, l.Offered)
+	}
+	return nil
+}
+
+// Gaps reports the gap-marked reads — the ledger rows reconciled in the
+// sample log's gap list.
+func (l ServiceLedger) Gaps() uint64 { return l.Gapped + l.Dropped + l.Rejected }
+
+// GapRate is the fraction of scheduled reads that ended as gaps.
+func (l ServiceLedger) GapRate() float64 {
+	if l.Offered == 0 {
+		return 0
+	}
+	return float64(l.Gaps()) / float64(l.Offered)
+}
+
+// Service is a sustained collection service over a fleet of daemons.
+type Service struct {
+	cfg  ServiceConfig
+	pool *CollectorPool
+	q    *IngestQueue
+	log  *SampleLog
+
+	sweeps        atomic.Uint64
+	daemonSweeps  atomic.Uint64
+	sweepFailures atomic.Uint64
+	offered       atomic.Uint64
+	gapped        atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool // guarded by mu
+}
+
+// NewService builds a service collecting from cfg.Addrs into log. Close
+// it to release its connections and drain its queue.
+func NewService(cfg ServiceConfig, log *SampleLog) (*Service, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("rs2hpm: service needs at least one daemon address")
+	}
+	if cfg.Collectors <= 0 {
+		cfg.Collectors = len(cfg.Addrs)
+		if cfg.Collectors > 4 {
+			cfg.Collectors = 4
+		}
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Pool.Retries == 0 {
+		cfg.Pool.Retries = cfg.Retries
+	}
+	if cfg.Pool.Backoff == nil {
+		cfg.Pool.Backoff = cfg.Backoff
+	}
+	return &Service{
+		cfg:  cfg,
+		pool: NewCollectorPool(cfg.Pool),
+		q:    NewIngestQueue(log, cfg.Queue),
+		log:  log,
+	}, nil
+}
+
+// Log exposes the sample log the service ingests into.
+func (s *Service) Log() *SampleLog { return s.log }
+
+// SweepOnce runs one fleet-wide sweep stamped atSeconds: every daemon's
+// nodes read once, fanned across the configured collector workers. It
+// returns an error summarising daemon-level failures; per-node misses are
+// gap-marked, counted in the ledger, and do not fail the sweep. Sweeps
+// may run concurrently, but samples for one node must carry increasing
+// stamps to be accepted by the log, so callers sequence their stamps.
+func (s *Service) SweepOnce(atSeconds float64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rs2hpm: service is closed")
+	}
+	s.mu.Unlock()
+	s.sweeps.Add(1)
+	telServiceSweeps.Inc()
+
+	type result struct {
+		addr string
+		err  error
+	}
+	work := make(chan string, len(s.cfg.Addrs))
+	results := make(chan result, len(s.cfg.Addrs))
+	for _, addr := range s.cfg.Addrs {
+		work <- addr
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Collectors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for addr := range work {
+				results <- result{addr, s.sweepDaemon(addr, atSeconds)}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var failed []string
+	for r := range results {
+		if r.err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", r.addr, r.err))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("rs2hpm: sweep at %vs failed %d of %d daemon(s): %v",
+			atSeconds, len(failed), len(s.cfg.Addrs), failed)
+	}
+	return nil
+}
+
+// sweepDaemon collects one daemon's full node set once.
+func (s *Service) sweepDaemon(addr string, atSeconds float64) error {
+	s.daemonSweeps.Add(1)
+	telServiceDaemons.Inc()
+	cl, err := s.pool.Get(addr)
+	if err != nil {
+		s.sweepFailures.Add(1)
+		telServiceSweepFails.Inc()
+		return err
+	}
+	ids, err := cl.Nodes()
+	if err != nil {
+		// The node list is unknowable: a whole-sweep failure, not
+		// per-node gaps.
+		s.pool.Discard(cl)
+		s.sweepFailures.Add(1)
+		telServiceSweepFails.Inc()
+		return err
+	}
+	s.offered.Add(uint64(len(ids)))
+
+	var entries []BatchEntry
+	if s.cfg.Batch {
+		entries, err = cl.BatchCounters(ids)
+		if err != nil {
+			// Transport/framing failure mid-batch: the connection is
+			// poisoned and nothing landed. Gap-mark the whole schedule —
+			// the reads were offered and are now unknowable.
+			s.pool.Discard(cl)
+			for _, id := range ids {
+				s.gapMark(id, atSeconds, err)
+			}
+			return err
+		}
+	} else {
+		entries = make([]BatchEntry, 0, len(ids))
+		for _, id := range ids {
+			snap, rerr := cl.Counters(id)
+			entries = append(entries, BatchEntry{Node: id, Snap: snap, Err: rerr})
+			if rerr != nil && !errors.Is(rerr, errProtocol) {
+				// Transport failure: remaining reads are unknowable.
+				for _, rest := range ids[len(entries):] {
+					entries = append(entries, BatchEntry{Node: rest, Err: rerr})
+				}
+				s.pool.Discard(cl)
+				cl = nil
+				break
+			}
+		}
+	}
+
+	// Retry failed entries individually within the budget, then offer
+	// everything that survived to the ingestion queue.
+	for _, e := range entries {
+		if e.Err != nil && cl != nil {
+			e.Snap, e.Err = s.retryRead(cl, e.Node, e.Err)
+		}
+		if e.Err != nil {
+			s.gapMark(e.Node, atSeconds, e.Err)
+			continue
+		}
+		s.q.Offer(Sample{AtSeconds: atSeconds, Node: e.Node, Snap: e.Snap})
+	}
+	if cl != nil {
+		s.pool.Put(cl)
+	}
+	return nil
+}
+
+// retryRead re-reads one node with the service's retry budget, starting
+// from the error the first attempt already produced.
+func (s *Service) retryRead(cl *Client, id int, firstErr error) (hpm.Counts64, error) {
+	lastErr := firstErr
+	for attempt := 1; attempt <= s.cfg.Retries; attempt++ {
+		telRetries.Inc()
+		if s.cfg.Backoff != nil {
+			telBackoffs.Inc()
+			s.cfg.Backoff(attempt)
+		}
+		snap, err := cl.Counters(id)
+		if err == nil {
+			return snap, nil
+		}
+		lastErr = err
+	}
+	return hpm.Counts64{}, lastErr
+}
+
+// gapMark records one abandoned read in the ledger and the log.
+func (s *Service) gapMark(node int, atSeconds float64, err error) {
+	s.gapped.Add(1)
+	telServiceGaps.Inc()
+	telGaps.Inc()
+	s.log.AddGap(Gap{AtSeconds: atSeconds, Node: node, Reason: err.Error()})
+}
+
+// Ledger reads the service's sample accounting. Exact once Close has
+// returned; mid-flight it is a monitoring snapshot.
+func (s *Service) Ledger() ServiceLedger {
+	qs := s.q.Stats()
+	return ServiceLedger{
+		Sweeps:        s.sweeps.Load(),
+		DaemonSweeps:  s.daemonSweeps.Load(),
+		SweepFailures: s.sweepFailures.Load(),
+		Offered:       s.offered.Load(),
+		Captured:      qs.Captured,
+		Gapped:        s.gapped.Load(),
+		Dropped:       qs.Dropped,
+		Rejected:      qs.Rejected,
+	}
+}
+
+// Pool exposes the connection pool (for stats and tests).
+func (s *Service) Pool() *CollectorPool { return s.pool }
+
+// Queue exposes the ingestion queue (for stats and tests).
+func (s *Service) Queue() *IngestQueue { return s.q }
+
+// Close shuts the service down: no further sweeps, queue drained into
+// the log, pooled connections closed. Idempotent; safe after failed
+// sweeps.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.q.Close()
+	s.pool.Close()
+}

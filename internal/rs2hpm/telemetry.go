@@ -21,10 +21,12 @@ var (
 	telRetries     = telCollector.Counter("retries")
 	telBackoffs    = telCollector.Counter("backoffs")
 
-	telClient        = telemetry.Default.Scope("rs2hpm.client")
-	telClientDials   = telClient.Counter("dials")
-	telClientBytesRx = telClient.Counter("bytes_rx")
-	telClientBytesTx = telClient.Counter("bytes_tx")
+	telClient          = telemetry.Default.Scope("rs2hpm.client")
+	telClientDials     = telClient.Counter("dials")
+	telClientBytesRx   = telClient.Counter("bytes_rx")
+	telClientBytesTx   = telClient.Counter("bytes_tx")
+	telClientBatches   = telClient.Counter("batches")
+	telClientFallbacks = telClient.Counter("fallbacks")
 
 	telDaemon        = telemetry.Default.Scope("rs2hpm.daemon")
 	telDaemonConns   = telDaemon.Counter("conns")
@@ -32,6 +34,31 @@ var (
 	telDaemonErrs    = telDaemon.Counter("errors")
 	telDaemonBytesRx = telDaemon.Counter("bytes_rx")
 	telDaemonBytesTx = telDaemon.Counter("bytes_tx")
+	telDaemonBatches = telDaemon.Counter("batches")
+
+	// The sustained-collection layers: connection pool, bounded ingestion
+	// queue, and the service that drives them. Every drop and rejection is
+	// counted here and reconciled as a gap mark in the sample log, so the
+	// telemetry and the coverage ledger cross-foot.
+	telPool            = telemetry.Default.Scope("rs2hpm.pool")
+	telPoolDials       = telPool.Counter("dials")
+	telPoolReuses      = telPool.Counter("reuses")
+	telPoolDiscards    = telPool.Counter("discards")
+	telPoolEvictions   = telPool.Counter("evictions")
+	telPoolHealthFails = telPool.Counter("health_fails")
+
+	telIngest         = telemetry.Default.Scope("rs2hpm.ingest")
+	telIngestOffered  = telIngest.Counter("offered")
+	telIngestEnqueued = telIngest.Counter("enqueued")
+	telIngestDropped  = telIngest.Counter("dropped")
+	telIngestRejected = telIngest.Counter("rejected")
+	telIngestCaptured = telIngest.Counter("captured")
+
+	telService           = telemetry.Default.Scope("rs2hpm.service")
+	telServiceSweeps     = telService.Counter("sweeps")
+	telServiceDaemons    = telService.Counter("daemon_sweeps")
+	telServiceSweepFails = telService.Counter("sweep_failures")
+	telServiceGaps       = telService.Counter("read_gaps")
 )
 
 // countingReader counts bytes read from the wire into a counter.
