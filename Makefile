@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke bench-gate fleet-smoke fuzz-smoke property soak-smoke ci
+.PHONY: build test race vet lint lint-fixtures spec-validate bench benchdiff bench-smoke bench-gate fleet-smoke replay-smoke fuzz-smoke property soak-smoke ci
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,18 @@ fleet-smoke:
 	$(GO) run ./cmd/spsim -days 2 -clusters 2 -shards 2 -checkpoint $(FLEET_SMOKE_CP) -resume
 	rm -f $(FLEET_SMOKE_CP)
 
+# Differential smoke of trace record/replay through the real CLI: record
+# a 2-day campaign while exporting its database, replay the trace at a
+# different worker count, and require the exported databases to be
+# byte-identical. cmp is the whole proof — any divergence fails.
+REPLAY_SMOKE_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)
+replay-smoke:
+	rm -f $(REPLAY_SMOKE_DIR)/hpm-replay-smoke.trace.gz $(REPLAY_SMOKE_DIR)/hpm-replay-live.json $(REPLAY_SMOKE_DIR)/hpm-replay-replayed.json
+	$(GO) run ./cmd/spsim -days 2 -seed 7 -record $(REPLAY_SMOKE_DIR)/hpm-replay-smoke.trace.gz -o $(REPLAY_SMOKE_DIR)/hpm-replay-live.json
+	$(GO) run ./cmd/spsim -days 2 -seed 7 -workers 3 -replay $(REPLAY_SMOKE_DIR)/hpm-replay-smoke.trace.gz -o $(REPLAY_SMOKE_DIR)/hpm-replay-replayed.json
+	cmp $(REPLAY_SMOKE_DIR)/hpm-replay-live.json $(REPLAY_SMOKE_DIR)/hpm-replay-replayed.json
+	rm -f $(REPLAY_SMOKE_DIR)/hpm-replay-smoke.trace.gz $(REPLAY_SMOKE_DIR)/hpm-replay-live.json $(REPLAY_SMOKE_DIR)/hpm-replay-replayed.json
+
 # Short fuzzing pass over every fuzz target (committed corpora plus
 # FUZZTIME of fresh exploration per target). go test allows one -fuzz
 # pattern per invocation, so each target gets its own run.
@@ -84,6 +96,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecDecode$$' -fuzztime $(FUZZTIME) ./internal/spec/
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireBatchDecode$$' -fuzztime $(FUZZTIME) ./internal/rs2hpm/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayDecode$$' -fuzztime $(FUZZTIME) ./internal/replay/
 
 # Every property test in the tree, under the race detector.
 property:
@@ -95,4 +108,4 @@ property:
 soak-smoke:
 	$(GO) test -race -run 'TestSoak' -count=1 ./internal/rs2hpm/loadtest/
 
-ci: build vet test race lint lint-fixtures spec-validate fleet-smoke soak-smoke bench-gate
+ci: build vet test race lint lint-fixtures spec-validate fleet-smoke replay-smoke soak-smoke bench-gate

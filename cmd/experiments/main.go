@@ -9,6 +9,8 @@
 //	experiments -trace run.json.gz -all    # analyse a saved campaign
 //	experiments -spec bursty -fig1         # run a named workload-spec preset
 //	experiments -clusters 4 -shards 2 -all # tables over a merged fleet campaign
+//	experiments -record t.gz -all          # record the campaign trace while running
+//	experiments -replay t.gz -all          # re-simulate a recorded trace bit-identically
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/profile"
+	"repro/internal/replay"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -55,6 +58,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "fleet checkpoint file (.json or .json.gz), written as clusters complete")
 	resumeRun := flag.Bool("resume", false, "resume the fleet campaign recorded in -checkpoint")
 	haltAfter := flag.Int("halt-after", 0, "stop the fleet after this many cluster completions (smoke/testing; requires -checkpoint)")
+	recordTo := flag.String("record", "", "record the fresh campaign's generated plans (and resolved fault schedules) to a trace here (always gzip)")
+	replayFrom := flag.String("replay", "", "re-simulate a recorded campaign trace instead of generating plans; the trace must match the campaign definition (exit 1 on corruption or mismatch)")
 	npb := flag.Bool("npb", false, "NPB suite signatures (extends Table 4's BT reference)")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
 	telFmt := flag.String("telemetry", "", `append the hpmtel self-measurement snapshot after the outputs ("text" or "json")`)
@@ -85,6 +90,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -halt-after requires -checkpoint")
 		os.Exit(2)
 	}
+	// Record/replay drive a campaign run, so neither combines with
+	// -trace; recording additionally rejects every mode that would leave
+	// the trace incomplete (mirrors fleet.Options).
+	if (*recordTo != "" || *replayFrom != "") && *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -record/-replay drive a campaign run and cannot be combined with -trace")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *replayFrom != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -record cannot be combined with -replay (a replay would only copy the trace)")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *resumeRun {
+		fmt.Fprintln(os.Stderr, "experiments: -record cannot be combined with -resume (restored clusters never regenerate, so the trace would be incomplete)")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *haltAfter > 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -record cannot be combined with -halt-after (a halted run records an incomplete trace)")
+		os.Exit(2)
+	}
 	fleetFlags := *clusters > 0 || *checkpoint != "" || *resumeRun || *haltAfter > 0
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {
@@ -112,6 +136,15 @@ func main() {
 		if sp, err = spec.Load(*specRef); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
+		}
+	}
+	// Probe the replay trace before paying for kernel measurement: a
+	// corrupt or truncated trace should fail in milliseconds. The
+	// definition-mismatch check needs the resolved config and runs later.
+	if *replayFrom != "" {
+		if _, err := replay.OpenFile(*replayFrom); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -193,6 +226,8 @@ func main() {
 			Checkpoint: *checkpoint,
 			Resume:     *resumeRun,
 			HaltAfter:  *haltAfter,
+			RecordTo:   *recordTo,
+			ReplayFrom: *replayFrom,
 		})
 		switch {
 		case errors.Is(err, fleet.ErrHalted):
@@ -236,7 +271,22 @@ func main() {
 			f := faults.Default()
 			cfg.Faults = &f
 		}
-		res = workload.NewCampaign(cfg, mix).Run()
+		var err error
+		switch {
+		case *recordTo != "":
+			res, err = replay.RunRecorded(*recordTo, cfg, mix)
+		case *replayFrom != "":
+			res, err = replay.RunReplayed(*replayFrom, cfg, mix)
+		default:
+			res = workload.NewCampaign(cfg, mix).Run()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *recordTo != "" {
+		fmt.Printf("campaign trace recorded to %s\n\n", *recordTo)
 	}
 
 	// Label every table and figure below with the scenario that produced

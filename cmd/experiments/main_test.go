@@ -114,3 +114,56 @@ func TestUnknownPresetExits2(t *testing.T) {
 		t.Fatalf("unknown -spec: exit %d, want 2", code)
 	}
 }
+
+// --- record/replay flag contract ---
+
+func TestReplayFlagValidationExits2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"record-with-trace", []string{"-record", "t.gz", "-trace", "db.json"},
+			"cannot be combined with -trace"},
+		{"replay-with-trace", []string{"-replay", "t.gz", "-trace", "db.json"},
+			"cannot be combined with -trace"},
+		{"record-with-replay", []string{"-record", "t.gz", "-replay", "t.gz", "-days", "1"},
+			"-record cannot be combined with -replay"},
+		{"record-with-resume", []string{"-record", "t.gz", "-checkpoint", "cp.json", "-resume", "-days", "1"},
+			"-record cannot be combined with -resume"},
+		{"record-with-halt", []string{"-record", "t.gz", "-checkpoint", "cp.json", "-halt-after", "1", "-days", "1"},
+			"-record cannot be combined with -halt-after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestReplayBadTraceExits1 drives the fail-fast probe: a missing or
+// corrupt trace exits 1 before any kernel measurement, so this test
+// stays cheap enough to run unconditionally.
+func TestReplayBadTraceExits1(t *testing.T) {
+	dir := t.TempDir()
+	if _, stderr, code := run(t, "-days", "1", "-table1", "-replay", filepath.Join(dir, "nope.trace.gz")); code != 1 {
+		t.Fatalf("missing trace: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	corrupt := filepath.Join(dir, "corrupt.trace.gz")
+	if err := os.WriteFile(corrupt, []byte("not a gzip campaign trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := run(t, "-days", "1", "-table1", "-replay", corrupt)
+	if code != 1 {
+		t.Fatalf("corrupt trace: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "corrupt.trace.gz") {
+		t.Errorf("stderr should name the trace file:\n%s", stderr)
+	}
+}

@@ -15,11 +15,18 @@
 // merged in canonical cluster order — results are bit-identical at every
 // shard count and across a kill/resume cycle.
 //
+// -record tees the generate stage into a campaign trace (internal/replay)
+// while the run proceeds normally; -replay re-simulates a recorded trace
+// instead of generating plans, reproducing the recorded run bit for bit
+// (exit 1 on a corrupt or mismatched trace). Both work on the single
+// campaign and on the fleet.
+//
 // Usage:
 //
 //	spsim [-days 270] [-nodes 144] [-seed 1] [-workers N] [-v] [-faults] [-o db.json.gz]
 //	      [-spec preset-or-file] [-list-presets] [-validate [spec files...]]
 //	      [-clusters N] [-shards N] [-checkpoint fleet.json.gz] [-resume] [-halt-after N]
+//	      [-record trace.gz | -replay trace.gz]
 //	      [-csv jobs.csv] [-telemetry text|json] [-profile-cache profiles.json.gz]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
@@ -37,6 +44,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/profile"
+	"repro/internal/replay"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -96,6 +104,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "fleet checkpoint file (.json or .json.gz), written as clusters complete")
 	resumeRun := flag.Bool("resume", false, "resume the fleet campaign recorded in -checkpoint")
 	haltAfter := flag.Int("halt-after", 0, "stop the fleet after this many cluster completions (smoke/testing; requires -checkpoint)")
+	recordTo := flag.String("record", "", "record the campaign's generated plans (and resolved fault schedules) to a trace here (always gzip); replaying it reproduces this run bit for bit")
+	replayFrom := flag.String("replay", "", "re-simulate a recorded campaign trace instead of generating plans; the trace must match the campaign definition (exit 1 on corruption or mismatch)")
 	out := flag.String("o", "", "write the campaign database here (.json or .json.gz) for cmd/experiments")
 	csvOut := flag.String("csv", "", "also export the batch-job database as CSV")
 	profCache := flag.String("profile-cache", "", "persist kernel measurements here (.json or .json.gz) and reuse them on later runs")
@@ -125,6 +135,20 @@ func main() {
 	}
 	if *haltAfter > 0 && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "spsim: -halt-after requires -checkpoint")
+		os.Exit(2)
+	}
+	// A useful trace is a complete trace: recording rejects every mode
+	// that would leave some day ungenerated (mirrors fleet.Options).
+	if *recordTo != "" && *replayFrom != "" {
+		fmt.Fprintln(os.Stderr, "spsim: -record cannot be combined with -replay (a replay would only copy the trace)")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *resumeRun {
+		fmt.Fprintln(os.Stderr, "spsim: -record cannot be combined with -resume (restored clusters never regenerate, so the trace would be incomplete)")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *haltAfter > 0 {
+		fmt.Fprintln(os.Stderr, "spsim: -record cannot be combined with -halt-after (a halted run records an incomplete trace)")
 		os.Exit(2)
 	}
 	// Any explicit fleet flag selects the fleet engine; so does a spec
@@ -160,6 +184,15 @@ func main() {
 		if sp, err = spec.Load(*specRef); err != nil {
 			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
 			os.Exit(2)
+		}
+	}
+	// Probe the replay trace before paying for kernel measurement: a
+	// corrupt or truncated trace should fail in milliseconds. The
+	// definition-mismatch check needs the resolved config and runs later.
+	if *replayFrom != "" {
+		if _, err := replay.OpenFile(*replayFrom); err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -273,6 +306,8 @@ func main() {
 			Checkpoint: *checkpoint,
 			Resume:     *resumeRun,
 			HaltAfter:  *haltAfter,
+			RecordTo:   *recordTo,
+			ReplayFrom: *replayFrom,
 		}, sinks...)
 		switch {
 		case errors.Is(err, fleet.ErrHalted):
@@ -289,17 +324,36 @@ func main() {
 		if cfg.Scenario != "" {
 			scenario = fmt.Sprintf(" [scenario %s]", cfg.Scenario)
 		}
-		fmt.Printf("running %d-day campaign on %d nodes (%d workers)%s...\n", cfg.Days, cfg.Nodes, *workers, scenario)
-		var rr workload.ResultReducer
-		tee := workload.TeeReducer{&rr}
+		verb := "running"
+		if *replayFrom != "" {
+			verb = "replaying"
+		}
+		fmt.Printf("%s %d-day campaign on %d nodes (%d workers)%s...\n", verb, cfg.Days, cfg.Nodes, *workers, scenario)
+		var sinks workload.TeeReducer
 		if *verbose {
-			tee = append(workload.TeeReducer{dayPrinter{cfg.Nodes}}, tee...)
+			sinks = append(sinks, dayPrinter{cfg.Nodes})
 		}
 		if *telFmt != "" {
-			tee = append(tee, &telRed)
+			sinks = append(sinks, &telRed)
 		}
-		workload.NewCampaign(cfg, mix).RunInto(tee)
-		res = rr.Result()
+		var err error
+		switch {
+		case *recordTo != "":
+			res, err = replay.RunRecorded(*recordTo, cfg, mix, sinks...)
+		case *replayFrom != "":
+			res, err = replay.RunReplayed(*replayFrom, cfg, mix, sinks...)
+		default:
+			var rr workload.ResultReducer
+			workload.NewCampaign(cfg, mix).RunInto(append(sinks, &rr))
+			res = rr.Result()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *recordTo != "" {
+		fmt.Printf("campaign trace recorded to %s\n", *recordTo)
 	}
 
 	if *out != "" {

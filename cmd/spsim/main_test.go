@@ -231,3 +231,104 @@ func TestFleetHaltResumeCLI(t *testing.T) {
 		t.Fatalf("resumed run must finish with a summary:\n%s", stdout)
 	}
 }
+
+// --- record/replay flag contract ---
+
+func TestReplayFlagValidationExits2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"record-with-replay", []string{"-record", "t.gz", "-replay", "t.gz", "-days", "1"},
+			"-record cannot be combined with -replay"},
+		{"record-with-resume", []string{"-record", "t.gz", "-checkpoint", "cp.json", "-resume", "-days", "1"},
+			"-record cannot be combined with -resume"},
+		{"record-with-halt", []string{"-record", "t.gz", "-checkpoint", "cp.json", "-halt-after", "1", "-days", "1"},
+			"-record cannot be combined with -halt-after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestReplayBadTraceExits1 drives the fail-fast probe: a missing or
+// corrupt trace exits 1 before any kernel measurement, so this test
+// stays cheap enough to run unconditionally.
+func TestReplayBadTraceExits1(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.trace.gz")
+	if _, stderr, code := run(t, "-days", "1", "-replay", missing); code != 1 {
+		t.Fatalf("missing trace: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	corrupt := filepath.Join(dir, "corrupt.trace.gz")
+	if err := os.WriteFile(corrupt, []byte("not a gzip campaign trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := run(t, "-days", "1", "-replay", corrupt)
+	if code != 1 {
+		t.Fatalf("corrupt trace: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "corrupt.trace.gz") {
+		t.Errorf("stderr should name the trace file:\n%s", stderr)
+	}
+}
+
+// TestRecordReplayRoundTripCLI is the CLI-level differential proof: a
+// recorded run and its replay must export byte-identical campaign
+// databases, and replaying against a different definition must fail
+// with exit 1 rather than produce a plausible wrong database.
+func TestRecordReplayRoundTripCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign runs in -short mode")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "campaign.trace.gz")
+	live := filepath.Join(dir, "live.json")
+	replayed := filepath.Join(dir, "replayed.json")
+
+	stdout, stderr, code := run(t, "-days", "1", "-seed", "7", "-record", trace, "-o", live)
+	if code != 0 {
+		t.Fatalf("record run: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "campaign trace recorded to") {
+		t.Errorf("record run should announce the trace:\n%s", stdout)
+	}
+	// Replay at a different worker count: execution knobs must not
+	// affect the replayed result.
+	stdout, stderr, code = run(t, "-days", "1", "-seed", "7", "-workers", "3", "-replay", trace, "-o", replayed)
+	if code != 0 {
+		t.Fatalf("replay run: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "replaying") {
+		t.Errorf("replay run should announce itself:\n%s", stdout)
+	}
+	a, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("live and replayed campaign databases differ (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// Wrong seed = wrong definition: the fingerprint check must refuse.
+	_, stderr, code = run(t, "-days", "1", "-seed", "8", "-replay", trace)
+	if code != 1 {
+		t.Fatalf("mismatched replay: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fingerprint") {
+		t.Errorf("stderr should name the fingerprint mismatch:\n%s", stderr)
+	}
+}

@@ -23,12 +23,14 @@ type FleetConfig struct {
 	Clusters int
 	// Shards is the number of cluster-level workers (see fleet.Options).
 	Shards int
-	// Checkpoint / CheckpointEachDay / Resume / HaltAfter map directly to
-	// fleet.Options.
+	// Checkpoint / CheckpointEachDay / Resume / HaltAfter / RecordTo /
+	// ReplayFrom map directly to fleet.Options.
 	Checkpoint        string
 	CheckpointEachDay bool
 	Resume            bool
 	HaltAfter         int
+	RecordTo          string
+	ReplayFrom        string
 }
 
 // FleetMembers builds the fleet definition the system would run:
@@ -87,6 +89,8 @@ func (s *System) RunFleet(fc FleetConfig, sinks ...workload.Reducer) (workload.R
 		CheckpointEachDay: fc.CheckpointEachDay,
 		Resume:            fc.Resume,
 		HaltAfter:         fc.HaltAfter,
+		RecordTo:          fc.RecordTo,
+		ReplayFrom:        fc.ReplayFrom,
 	}, sinks...)
 }
 

@@ -1,0 +1,28 @@
+package core
+
+// The record/replay facade path: the same System that runs one campaign
+// can record its generated workload to a trace, or re-simulate a
+// recorded trace bit-identically (internal/replay). Fleet runs get the
+// same pair through FleetConfig.RecordTo/ReplayFrom.
+
+import (
+	"repro/internal/replay"
+	"repro/internal/workload"
+)
+
+// RunCampaignRecordTo executes the measurement window live, recording
+// the generated workload (day plans and resolved fault schedules) to a
+// campaign trace at path. The Result is identical to RunCampaign's; the
+// sinks receive the reduction stream as in RunCampaignInto.
+func (s *System) RunCampaignRecordTo(path string, sinks ...workload.Reducer) (workload.Result, error) {
+	return replay.RunRecorded(path, s.CampaignConfig(), s.mix, sinks...)
+}
+
+// RunCampaignReplayFrom re-simulates the campaign trace at path,
+// bypassing generation. The trace must have been recorded from this
+// system's campaign definition (replay.ErrMismatch otherwise); Workers
+// may differ freely, and the Result is bit-identical to the recorded
+// run.
+func (s *System) RunCampaignReplayFrom(path string, sinks ...workload.Reducer) (workload.Result, error) {
+	return replay.RunReplayed(path, s.CampaignConfig(), s.mix, sinks...)
+}

@@ -1,0 +1,118 @@
+package faults
+
+// JSON codec for Plan. A Plan's schedule lives in unexported flattened
+// arrays (the hot collection path indexes them per tick), so the default
+// encoding would drop everything but the geometry. Campaign traces
+// (internal/replay) persist resolved plans so a recorded campaign can be
+// re-simulated without re-deriving its faults — the codec therefore
+// round-trips *exactly*: for any plan NewPlan can produce,
+// Unmarshal(Marshal(p)) is reflect.DeepEqual to p, nil-ness of every
+// slice included. The decoder validates the geometry invariants the
+// accessors rely on (per-node arrays all present or all absent, per-tick
+// arrays sized nodes*ticks, reset kinds in range), so a decoded plan can
+// never index out of bounds — corrupt trace bytes fail the decode, they
+// do not panic the replay.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// planWire is Plan's on-the-wire form. No field carries omitempty: nil
+// encodes as null and an empty slice as [], so nil-ness survives the
+// round trip and DeepEqual holds bit-for-bit.
+type planWire struct {
+	Day   int `json:"day"`
+	Nodes int `json:"nodes"`
+	Ticks int `json:"ticks"`
+	// Drop/Dup are the per-node-tick Bernoulli outcomes, indexed
+	// node*Ticks+tick; null when the corresponding rate was zero.
+	Drop []bool `json:"drop"`
+	Dup  []bool `json:"dup"`
+	// Per-node schedule: unreachable window [DownFrom, DownTo), reset
+	// tick and kind. -1 marks no event, mirroring the in-memory form.
+	DownFrom  []int `json:"down_from"`
+	DownTo    []int `json:"down_to"`
+	ResetTick []int `json:"reset_tick"`
+	// ResetKind is []int, not []uint8: a byte slice would JSON-encode as
+	// base64 and the trace format stays greppable.
+	ResetKind []int `json:"reset_kind"`
+}
+
+// MarshalJSON encodes the plan in its wire form.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	w := planWire{
+		Day:       p.Day,
+		Nodes:     p.Nodes,
+		Ticks:     p.Ticks,
+		Drop:      p.drop,
+		Dup:       p.dup,
+		DownFrom:  p.downFrom,
+		DownTo:    p.downTo,
+		ResetTick: p.resetTick,
+	}
+	if p.resetKind != nil {
+		w.ResetKind = make([]int, len(p.resetKind))
+		for i, k := range p.resetKind {
+			w.ResetKind[i] = int(k)
+		}
+	}
+	return json.Marshal(w)
+}
+
+// maxPlanDim bounds the decoded geometry: a day has at most 86400 ticks
+// and no machine this simulator models approaches a million nodes.
+// Anything larger is a corrupt or adversarial trace, rejected before the
+// Nodes*Ticks product can overflow or drive a giant allocation.
+const maxPlanDim = 1 << 20
+
+// UnmarshalJSON decodes and validates the wire form. Every invariant the
+// accessors assume is checked here, so arbitrary bytes either decode to
+// a structurally sound plan or fail with an error — never a panic later.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var w planWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Nodes > maxPlanDim || w.Ticks > maxPlanDim {
+		return fmt.Errorf("faults: plan geometry %dx%d exceeds %d", w.Nodes, w.Ticks, maxPlanDim)
+	}
+	// NewPlan passes degenerate geometry (zero or negative dims) through
+	// with every table nil; mirror that here — no cells, no per-node rows.
+	cells := 0
+	if w.Nodes > 0 && w.Ticks > 0 {
+		cells = w.Nodes * w.Ticks
+	}
+	if w.Drop != nil && len(w.Drop) != cells {
+		return fmt.Errorf("faults: plan drop table has %d cells, geometry says %d", len(w.Drop), cells)
+	}
+	if w.Dup != nil && len(w.Dup) != cells {
+		return fmt.Errorf("faults: plan dup table has %d cells, geometry says %d", len(w.Dup), cells)
+	}
+	// The four per-node arrays are allocated together by NewPlan; the
+	// accessors index them together, so a partial set cannot be sound.
+	perNode := []([]int){w.DownFrom, w.DownTo, w.ResetTick, w.ResetKind}
+	names := []string{"down_from", "down_to", "reset_tick", "reset_kind"}
+	for i, s := range perNode {
+		if (s == nil) != (w.DownFrom == nil) {
+			return fmt.Errorf("faults: plan %s present/absent disagrees with down_from", names[i])
+		}
+		if s != nil && (w.Nodes < 0 || len(s) != w.Nodes) {
+			return fmt.Errorf("faults: plan %s has %d entries, geometry says %d nodes", names[i], len(s), w.Nodes)
+		}
+	}
+	p.Day, p.Nodes, p.Ticks = w.Day, w.Nodes, w.Ticks
+	p.drop, p.dup = w.Drop, w.Dup
+	p.downFrom, p.downTo, p.resetTick = w.DownFrom, w.DownTo, w.ResetTick
+	p.resetKind = nil
+	if w.ResetKind != nil {
+		p.resetKind = make([]ResetKind, len(w.ResetKind))
+		for i, k := range w.ResetKind {
+			if k < int(NoReset) || k > int(RestartReset) {
+				return fmt.Errorf("faults: plan reset kind %d for node %d out of range", k, i)
+			}
+			p.resetKind[i] = ResetKind(k)
+		}
+	}
+	return nil
+}

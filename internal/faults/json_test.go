@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPlanJSONRoundTrip is the codec's property test: for randomized
+// seeded plans — empty days, zero-node/zero-tick geometry, single fault
+// modes, everything-on mixes with duplicated samples — the encode→decode
+// round trip is exact under reflect.DeepEqual, nil-ness of every
+// internal slice included.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	configs := []Config{
+		{}, // no faults: per-tick tables stay nil
+		{DropProbPerSample: 0.2},
+		{DupProbPerSample: 0.9}, // dense duplicated-sample entries
+		{CrashProbPerNodeDay: 0.5, MeanOutageTicks: 4},
+		{RestartProbPerNodeDay: 0.5},
+		Default(),
+		{ // everything on, hot
+			CrashProbPerNodeDay:   0.3,
+			MeanOutageTicks:       3,
+			DropProbPerSample:     0.15,
+			DupProbPerSample:      0.15,
+			RestartProbPerNodeDay: 0.3,
+		},
+	}
+	geoms := []struct{ nodes, ticks int }{
+		{0, 0}, {0, 96}, {8, 0}, {-1, 96}, // degenerate: all-nil plans
+		{1, 1}, {4, 96}, {16, 12},
+	}
+	rnd := rand.New(rand.NewSource(10))
+	for ci, cfg := range configs {
+		for _, g := range geoms {
+			for rep := 0; rep < 3; rep++ {
+				seed := rnd.Uint64()
+				day := rnd.Intn(30)
+				p := NewPlan(cfg, seed, day, g.nodes, g.ticks)
+				data, err := json.Marshal(p)
+				if err != nil {
+					t.Fatalf("config %d %dx%d: marshal: %v", ci, g.nodes, g.ticks, err)
+				}
+				var got Plan
+				if err := json.Unmarshal(data, &got); err != nil {
+					t.Fatalf("config %d %dx%d: unmarshal: %v", ci, g.nodes, g.ticks, err)
+				}
+				if !reflect.DeepEqual(p, got) {
+					t.Fatalf("config %d %dx%d seed %d day %d: round trip not exact\nwant %+v\ngot  %+v",
+						ci, g.nodes, g.ticks, seed, day, p, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanJSONRoundTripPreservesBehavior re-checks the round trip at the
+// accessor level: every (node, tick) query answers identically on the
+// decoded plan, which is the property replay actually depends on.
+func TestPlanJSONRoundTripPreservesBehavior(t *testing.T) {
+	cfg := Config{
+		CrashProbPerNodeDay:   0.4,
+		MeanOutageTicks:       5,
+		DropProbPerSample:     0.1,
+		DupProbPerSample:      0.1,
+		RestartProbPerNodeDay: 0.4,
+	}
+	p := NewPlan(cfg, 99, 3, 12, 24)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Plan
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	for n := -1; n <= p.Nodes; n++ {
+		for tick := -1; tick <= p.Ticks; tick++ {
+			if p.Down(n, tick) != got.Down(n, tick) ||
+				p.Dropped(n, tick) != got.Dropped(n, tick) ||
+				p.Duplicated(n, tick) != got.Duplicated(n, tick) ||
+				p.ResetAt(n, tick) != got.ResetAt(n, tick) {
+				t.Fatalf("accessor disagreement at node %d tick %d", n, tick)
+			}
+		}
+	}
+	if p.Empty() != got.Empty() {
+		t.Fatal("Empty() disagrees after round trip")
+	}
+}
+
+// TestPlanUnmarshalRejectsUnsound pins the decoder's validation: wire
+// forms whose geometry and tables disagree must fail to decode, because
+// a plan with (say) a short downTo slice would panic in Down.
+func TestPlanUnmarshalRejectsUnsound(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"negative nodes with rows", `{"day":0,"nodes":-2,"ticks":4,"drop":null,"dup":null,"down_from":[1],"down_to":[2],"reset_tick":[0],"reset_kind":[0]}`},
+		{"negative ticks with cells", `{"day":0,"nodes":2,"ticks":-4,"drop":[true],"dup":null,"down_from":null,"down_to":null,"reset_tick":null,"reset_kind":null}`},
+		{"huge geometry", `{"day":0,"nodes":2000000,"ticks":2000000,"drop":null,"dup":null,"down_from":null,"down_to":null,"reset_tick":null,"reset_kind":null}`},
+		{"short drop table", `{"day":0,"nodes":2,"ticks":4,"drop":[true],"dup":null,"down_from":null,"down_to":null,"reset_tick":null,"reset_kind":null}`},
+		{"short dup table", `{"day":0,"nodes":2,"ticks":4,"drop":null,"dup":[false,true],"down_from":null,"down_to":null,"reset_tick":null,"reset_kind":null}`},
+		{"partial per-node set", `{"day":0,"nodes":2,"ticks":4,"drop":null,"dup":null,"down_from":[1,-1],"down_to":null,"reset_tick":null,"reset_kind":null}`},
+		{"short down_to", `{"day":0,"nodes":2,"ticks":4,"drop":null,"dup":null,"down_from":[1,-1],"down_to":[2],"reset_tick":[-1,-1],"reset_kind":[0,0]}`},
+		{"reset kind out of range", `{"day":0,"nodes":1,"ticks":4,"drop":null,"dup":null,"down_from":[-1],"down_to":[-1],"reset_tick":[2],"reset_kind":[7]}`},
+		{"not an object", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		var p Plan
+		if err := json.Unmarshal([]byte(tc.json), &p); err == nil {
+			t.Errorf("%s: decode unexpectedly succeeded: %+v", tc.name, p)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -64,6 +65,18 @@ type Options struct {
 	// holds the completed frontier, and Run returns ErrHalted. It exists
 	// to force kill/resume cycles in tests and smoke targets.
 	HaltAfter int
+	// RecordTo, when non-empty, records every cluster's generated plans
+	// (and resolved fault schedules) to a campaign trace at this path
+	// (internal/replay; always gzip). A trace must be complete to be
+	// useful, so RecordTo rejects Resume, HaltAfter, and ReplayFrom —
+	// each would leave some cluster's days ungenerated — and the trace
+	// file appears only if the whole run succeeds.
+	RecordTo string
+	// ReplayFrom, when non-empty, feeds every cluster's plans from the
+	// campaign trace at this path instead of the generators, bypassing
+	// generation. The trace must match the fleet definition (config
+	// fingerprint) or Run fails before any cluster starts.
+	ReplayFrom string
 }
 
 // ErrHalted reports a run stopped by Options.HaltAfter: progress is in
@@ -115,6 +128,12 @@ type run struct {
 	// reducers need no locking of their own. The tail sink is the
 	// internal ResultReducer the merged Result comes from.
 	sinks workload.TeeReducer
+
+	// rec/rp are the trace recorder and replayer; nil unless
+	// RecordTo/ReplayFrom is set. Both are internally synchronized, so
+	// shards use them without holding mu.
+	rec *replay.Recorder
+	rp  *replay.Replayer
 }
 
 // Run executes the fleet campaign and returns the merged Result. The
@@ -131,6 +150,16 @@ func Run(members []Member, opts Options, sinks ...workload.Reducer) (workload.Re
 	if opts.Resume && opts.Checkpoint == "" {
 		return workload.Result{}, errors.New("fleet: Resume requires a Checkpoint path")
 	}
+	if opts.RecordTo != "" {
+		switch {
+		case opts.ReplayFrom != "":
+			return workload.Result{}, errors.New("fleet: RecordTo with ReplayFrom (a replay would only copy the trace)")
+		case opts.Resume:
+			return workload.Result{}, errors.New("fleet: RecordTo with Resume (restored clusters never regenerate, the trace would be incomplete)")
+		case opts.HaltAfter > 0:
+			return workload.Result{}, errors.New("fleet: RecordTo with HaltAfter (a halted run records an incomplete trace)")
+		}
+	}
 
 	var rr workload.ResultReducer
 	r := &run{
@@ -144,6 +173,31 @@ func Run(members []Member, opts Options, sinks ...workload.Reducer) (workload.Re
 	for i := range members {
 		if members[i].Config.Days > r.maxDays {
 			r.maxDays = members[i].Config.Days
+		}
+	}
+
+	if opts.RecordTo != "" || opts.ReplayFrom != "" {
+		defs := make([]replay.Def, len(members))
+		for i := range members {
+			defs[i] = replay.Def{Config: members[i].Config, Mix: members[i].Mix}
+		}
+		if opts.RecordTo != "" {
+			rec, err := replay.Create(opts.RecordTo, replay.HeaderFor(defs))
+			if err != nil {
+				return workload.Result{}, fmt.Errorf("fleet: %w", err)
+			}
+			r.rec = rec
+			defer rec.Abort() // no-op once Close succeeds; discards on failure
+		}
+		if opts.ReplayFrom != "" {
+			rp, err := replay.OpenFile(opts.ReplayFrom)
+			if err != nil {
+				return workload.Result{}, fmt.Errorf("fleet: %w", err)
+			}
+			if err := rp.Validate(defs); err != nil {
+				return workload.Result{}, fmt.Errorf("fleet: %w", err)
+			}
+			r.rp = rp
 		}
 	}
 
@@ -191,6 +245,11 @@ func Run(members []Member, opts Options, sinks ...workload.Reducer) (workload.Re
 			return workload.Result{}, fmt.Errorf("fleet: cluster %d never finished", c)
 		}
 	}
+	if r.rec != nil {
+		if err := r.rec.Close(); err != nil {
+			return workload.Result{}, fmt.Errorf("fleet: %w", err)
+		}
+	}
 	r.sinks.Finish(workload.MergeFinal(r.parts))
 	return rr.Result(), nil
 }
@@ -210,6 +269,18 @@ func (r *run) shardLoop(shard int, busy *telemetry.Counter) {
 		}
 		w := telemetry.StartWatch()
 		campaign := workload.NewCampaign(r.members[c].Config, r.members[c].Mix)
+		// The record/replay seam: tee the cluster's generate stage into
+		// the trace, or substitute the trace for it (plans and fault
+		// schedules both). Simulate and reduce run unchanged either way.
+		if r.rec != nil {
+			campaign.SetGenerator(r.rec.Tap(c, r.members[c].Config,
+				workload.NewGenerator(r.members[c].Config, r.members[c].Mix)))
+		}
+		if r.rp != nil {
+			src := r.rp.Source(c)
+			campaign.SetGenerator(src)
+			campaign.SetFaultPlanner(src)
+		}
 		campaign.RunInto(&clusterTap{r: r, cluster: c})
 		w.Record(telClusterNs)
 		w.AddTo(busy)

@@ -41,6 +41,10 @@ var simulatorPackages = map[string]bool{
 	// break the bit-identical-at-any-shard-count contract the same way it
 	// would inside the engine itself.
 	"fleet": true,
+	// replay records and re-feeds campaign plans; a trace must replay to
+	// the recorded run's exact Result, so nothing in the record/decode
+	// path may depend on the clock or an unseeded stream.
+	"replay": true,
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

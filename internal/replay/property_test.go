@@ -1,0 +1,134 @@
+package replay_test
+
+// Property tests for the trace codec: whatever the generate stage can
+// produce must survive the trace bit-for-bit. DayPlans round-trip
+// exactly through JSON (empty days and nil-vs-empty job lists included),
+// and a recorded trace feeds back, through the real Recorder → Decode →
+// Validate → Source path, the very plans the generator produced
+// (reflect.DeepEqual, fault schedules included). Only generation runs
+// here — no simulation — so the properties are checked across many
+// randomized seeds cheaply.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/profile"
+	"repro/internal/replay"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+func TestDayPlanJSONRoundTrip(t *testing.T) {
+	std := profile.MeasureStandardWorkers(7, 1)
+	mix := workload.DefaultMix(std)
+	rnd := rand.New(rand.NewSource(4))
+	plans := []workload.DayPlan{
+		{},                                   // zero value: nil Jobs must stay nil
+		{Day: 3, Jobs: []workload.JobSpec{}}, // empty-but-present must stay empty
+		{Day: 1, Util: 0.5, PagingDay: true, Quality: 1.25},
+	}
+	for i := 0; i < 20; i++ {
+		cfg := workload.DefaultConfig(rnd.Uint64())
+		cfg.Days = 1 + rnd.Intn(4)
+		// A near-zero demand day exercises sparse (possibly empty) plans.
+		if i%5 == 0 {
+			cfg.MeanUtil, cfg.UtilSigma = 0.01, 0.01
+		}
+		g := workload.NewGenerator(cfg, mix)
+		plans = append(plans, g.GenerateDay(rnd.Intn(cfg.Days)))
+	}
+	for i, p := range plans {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("plan %d: marshal: %v", i, err)
+		}
+		var got workload.DayPlan
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("plan %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("plan %d: round trip not exact\nwant %+v\ngot  %+v", i, p, got)
+		}
+	}
+}
+
+// TestTraceRoundTripExact records generated plans through the real
+// Recorder and reads them back through Decode → Validate → Source: every
+// replayed DayPlan and fault schedule must equal what the generator
+// produced, exactly.
+func TestTraceRoundTripExact(t *testing.T) {
+	std := profile.MeasureStandardWorkers(7, 1)
+	mix := workload.DefaultMix(std)
+	rnd := rand.New(rand.NewSource(9))
+	for round := 0; round < 6; round++ {
+		cfg := workload.DefaultConfig(rnd.Uint64())
+		cfg.Days = 1 + rnd.Intn(3)
+		if round%2 == 1 {
+			fc := faults.Default()
+			fc.CrashProbPerNodeDay = 0.2 // duplicated samples and resets both likely
+			fc.DupProbPerSample = 0.02
+			cfg.Faults = &fc
+		}
+		defs := []replay.Def{{Config: cfg, Mix: mix}}
+
+		var buf bytes.Buffer
+		rec, err := replay.NewRecorder(&buf, replay.HeaderFor(defs))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		tap := rec.Tap(0, cfg, workload.NewGenerator(cfg, mix))
+		for d := 0; d < cfg.Days; d++ {
+			tap.GenerateDay(d)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+
+		rp, err := replay.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if err := rp.Validate(defs); err != nil {
+			t.Fatalf("round %d: validate: %v", round, err)
+		}
+		src := rp.Source(0)
+		g := workload.NewGenerator(cfg, mix) // regenerate: the generator is pure
+		ticks := int(86400 / cfg.SamplePeriodSeconds)
+		for d := 0; d < cfg.Days; d++ {
+			if want, got := g.GenerateDay(d), src.GenerateDay(d); !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d day %d: replayed plan differs from generated plan", round, d)
+			}
+			if cfg.Faults != nil {
+				want := faults.NewPlan(*cfg.Faults, cfg.Seed, d, cfg.Nodes, ticks)
+				if got := src.PlanFaultDay(d, cfg.Nodes, ticks); !reflect.DeepEqual(want, got) {
+					t.Fatalf("round %d day %d: replayed fault plan differs from derived plan", round, d)
+				}
+			}
+		}
+	}
+}
+
+// TestJobSpecTimeRoundTrip pins the float precision the trace relies on:
+// submission instants are float64 seconds, and Go's JSON encoder writes
+// the shortest form that round-trips exactly.
+func TestJobSpecTimeRoundTrip(t *testing.T) {
+	times := []simclock.Time{0, 1.0 / 3, 86399.999999999, 12345.6789012345678}
+	for _, at := range times {
+		data, err := json.Marshal(workload.JobSpec{At: at})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got workload.JobSpec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.At != at {
+			t.Fatalf("submission instant %v round-tripped to %v", at, got.At)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package replay
+
+// Campaign-level record/replay drivers: the single-cluster counterparts
+// of the fleet wiring in internal/fleet. Both run the ordinary staged
+// campaign — only the generate stage differs: RunRecorded tees it into a
+// trace, RunReplayed substitutes the trace for it.
+
+import (
+	"repro/internal/workload"
+)
+
+// RunRecorded runs the campaign live and records its generated plans to
+// a gzip trace at path. The Result is identical to an unrecorded run;
+// the trace appears at path only if both the campaign and the trace
+// write completed (the recorder writes a temp file and renames on
+// success).
+func RunRecorded(path string, cfg workload.Config, mix workload.Mix, sinks ...workload.Reducer) (workload.Result, error) {
+	rec, err := Create(path, HeaderFor([]Def{{Config: cfg, Mix: mix}}))
+	if err != nil {
+		return workload.Result{}, err
+	}
+	defer rec.Abort() // no-op after a successful Close; discards on panic
+	c := workload.NewCampaign(cfg, mix)
+	c.SetGenerator(rec.Tap(0, cfg, workload.NewGenerator(cfg, mix)))
+	var rr workload.ResultReducer
+	c.RunInto(append(workload.TeeReducer(sinks), &rr))
+	if err := rec.Close(); err != nil {
+		return workload.Result{}, err
+	}
+	return rr.Result(), nil
+}
+
+// RunReplayed re-simulates the trace at path under the given campaign
+// definition, bypassing generation. The definition must be the one the
+// trace was recorded from (Validate's fingerprint check); Workers is an
+// execution knob and may differ freely. The Result is bit-identical to
+// the live run that recorded the trace.
+func RunReplayed(path string, cfg workload.Config, mix workload.Mix, sinks ...workload.Reducer) (workload.Result, error) {
+	rp, err := OpenFile(path)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	if err := rp.Validate([]Def{{Config: cfg, Mix: mix}}); err != nil {
+		return workload.Result{}, err
+	}
+	src := rp.Source(0)
+	c := workload.NewCampaign(cfg, mix)
+	c.SetGenerator(src)
+	c.SetFaultPlanner(src)
+	var rr workload.ResultReducer
+	c.RunInto(append(workload.TeeReducer(sinks), &rr))
+	return rr.Result(), nil
+}

@@ -1,0 +1,15 @@
+package replay
+
+// hpmtel instrumentation for the record/replay path. Observation only:
+// no metric feeds back into what gets recorded or replayed, so a traced
+// campaign's Result is identical with telemetry on or off.
+
+import "repro/internal/telemetry"
+
+var (
+	telReplay         = telemetry.Default.Scope("replay")
+	telRecordsWritten = telReplay.Counter("records_written")
+	telPlansReplayed  = telReplay.Counter("plans_replayed")
+	telBytesWritten   = telReplay.Counter("bytes_written")
+	telBytesRead      = telReplay.Counter("bytes_read")
+)

@@ -392,6 +392,7 @@ type Campaign struct {
 	// tracks each node's last successful sample time for the covered/lost
 	// node-second accounting.
 	plan          faults.Plan
+	planner       FaultPlanner
 	fates         []faults.Fate
 	pendingRebase []bool
 	lastCaptured  []float64
@@ -427,6 +428,43 @@ func NewCampaign(cfg Config, mix Mix) *Campaign {
 	c.srv.OnStart = c.onStart
 	c.srv.OnEnd = c.onEnd
 	return c
+}
+
+// FaultPlanner supplies each day's fault schedule. The campaign's
+// default planner derives the plan from (Config.Faults, seed, day) via
+// faults.NewPlan; a replayer substitutes recorded plans instead, so a
+// faulted campaign can be re-simulated from a trace without re-deriving
+// its outages. Implementations must return a plan for the requested
+// geometry — the campaign asks once per day boundary, in day order.
+type FaultPlanner interface {
+	PlanFaultDay(day, nodes, ticks int) faults.Plan
+}
+
+// SetGenerator replaces the campaign's generate stage. The simulate and
+// reduce stages are untouched: a substituted generator that yields the
+// plans a live generator would have yielded produces a bit-identical
+// Result. This is the record/replay seam (internal/replay) — the
+// recorder wraps the live generator to tee plans out, the replayer
+// substitutes a trace-backed one. Must be called before Run/RunInto.
+func (c *Campaign) SetGenerator(g Generator) {
+	if c.ran {
+		panic("workload: SetGenerator after campaign ran")
+	}
+	if g == nil {
+		panic("workload: SetGenerator(nil)")
+	}
+	c.gen = g
+}
+
+// SetFaultPlanner replaces the campaign's fault-plan derivation (the
+// faults.NewPlan call at each day boundary). Only consulted when the
+// campaign is faulted (Config.Faults non-nil); must be called before
+// Run/RunInto.
+func (c *Campaign) SetFaultPlanner(p FaultPlanner) {
+	if c.ran {
+		panic("workload: SetFaultPlanner after campaign ran")
+	}
+	c.planner = p
 }
 
 // Nodes exposes the cluster (for examples and the daemon).
@@ -549,7 +587,11 @@ func (c *Campaign) tick(at simclock.Time, tickNo int) {
 func (c *Campaign) prepareFaultTick(at simclock.Time, tickNo int) []faults.Fate {
 	day, dayTick := tickNo/c.ticksPerDay, tickNo%c.ticksPerDay
 	if dayTick == 0 {
-		c.plan = faults.NewPlan(*c.cfg.Faults, c.cfg.Seed, day, c.cfg.Nodes, c.ticksPerDay)
+		if c.planner != nil {
+			c.plan = c.planner.PlanFaultDay(day, c.cfg.Nodes, c.ticksPerDay)
+		} else {
+			c.plan = faults.NewPlan(*c.cfg.Faults, c.cfg.Seed, day, c.cfg.Nodes, c.ticksPerDay)
+		}
 	}
 	for n := range c.nodes {
 		k := c.plan.ResetAt(n, dayTick)
